@@ -1,0 +1,157 @@
+//! Ablation bench targets (A1–A4): the design-choice experiments from
+//! DESIGN.md, reduced to representative cells. Full grids:
+//! `figures -- ablate-elide ablate-group ablate-buckets ablate-x`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ale_bench::{harness::run_hashmap_mods, HashMapWorkload, Mods, Variant};
+use ale_vtime::Platform;
+
+fn a1_elide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A1_version_bump_elision");
+    let w = HashMapWorkload::mutate_heavy(8 * 1024).with_buckets(512);
+    for (label, mods) in [
+        ("elide", Mods::default()),
+        (
+            "always-bump",
+            Mods {
+                force_bump: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, 8), &8usize, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    run_hashmap_mods(
+                        Platform::haswell(),
+                        Variant::StaticHl(5),
+                        mods,
+                        t,
+                        &w,
+                        400,
+                        0,
+                        5,
+                    )
+                    .mops,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn a2_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A2_grouping");
+    let w = HashMapWorkload::mutate_heavy(4 * 1024).with_buckets(64);
+    for (label, mods) in [
+        (
+            "grouping",
+            Mods {
+                static_grouping: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-grouping",
+            Mods {
+                grouping_off: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, 32), &32usize, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    run_hashmap_mods(
+                        Platform::t2(),
+                        Variant::StaticSl(24),
+                        mods,
+                        t,
+                        &w,
+                        150,
+                        0,
+                        6,
+                    )
+                    .mops,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn a3_bucket_versions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A3_version_stripes");
+    for stripes in [1usize, 64] {
+        let w = HashMapWorkload::mutate_heavy(4 * 1024).with_version_stripes(stripes);
+        g.bench_with_input(BenchmarkId::new("stripes", stripes), &stripes, |b, _| {
+            b.iter(|| {
+                black_box(
+                    run_hashmap_mods(
+                        Platform::t2(),
+                        Variant::StaticSl(24),
+                        Mods::default(),
+                        32,
+                        &w,
+                        150,
+                        0,
+                        7,
+                    )
+                    .mops,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn a4_x_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("A4_x_selection");
+    let w = HashMapWorkload::mutate_heavy(16 * 1024);
+    for x in [1u32, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("static_x", x), &x, |b, &x| {
+            b.iter(|| {
+                black_box(
+                    run_hashmap_mods(
+                        Platform::rock(),
+                        Variant::StaticHl(x),
+                        Mods::default(),
+                        8,
+                        &w,
+                        400,
+                        0,
+                        8,
+                    )
+                    .mops,
+                )
+            });
+        });
+    }
+    g.bench_function("adaptive_x", |b| {
+        b.iter(|| {
+            black_box(
+                run_hashmap_mods(
+                    Platform::rock(),
+                    Variant::AdaptiveHl,
+                    Mods::default(),
+                    8,
+                    &w,
+                    400,
+                    800,
+                    9,
+                )
+                .mops,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = a1_elide, a2_grouping, a3_bucket_versions, a4_x_model
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Component microbenchmarks (wall-clock): the building blocks every
+//! figure rests on. Useful for spotting regressions in the hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ale_core::{scope, Ale, AleConfig, CsOptions, StaticPolicy};
+use ale_htm::HtmCell;
+use ale_sync::{RawLock, SeqLock, Snzi, SpinLock, StatCounter};
+use ale_vtime::{Platform, Rng};
+
+fn bench_htm_cell(c: &mut Criterion) {
+    let cell = HtmCell::new(0u64);
+    c.bench_function("htm_cell/plain_get", |b| {
+        b.iter(|| black_box(cell.get()));
+    });
+    c.bench_function("htm_cell/plain_set", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cell.set(black_box(i));
+        });
+    });
+    c.bench_function("htm_cell/compare_exchange", |b| {
+        b.iter(|| {
+            let v = cell.get();
+            let _ = black_box(cell.compare_exchange(v, v + 1));
+        });
+    });
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    let profile = Platform::testbed().htm.unwrap();
+    let cells: Vec<HtmCell<u64>> = (0..16).map(HtmCell::new).collect();
+    let mut rng = Rng::new(1);
+    c.bench_function("htm_txn/read4_write2_commit", |b| {
+        b.iter(|| {
+            let r = ale_htm::attempt(&profile, &mut rng, || {
+                let s = cells[0].get() + cells[1].get() + cells[2].get() + cells[3].get();
+                cells[4].set(s);
+                cells[5].set(s + 1);
+                s
+            });
+            black_box(r.unwrap());
+        });
+    });
+    c.bench_function("htm_txn/explicit_abort", |b| {
+        b.iter(|| {
+            let r: Result<(), _> = ale_htm::attempt(&profile, &mut rng, || {
+                cells[0].set(1);
+                ale_htm::explicit_abort(3);
+            });
+            black_box(r.unwrap_err());
+        });
+    });
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let snzi = Snzi::new(3);
+    c.bench_function("snzi/arrive_depart", |b| {
+        b.iter(|| {
+            let g = snzi.arrive_at(black_box(7));
+            black_box(snzi.query());
+            drop(g);
+        });
+    });
+    let counter = StatCounter::new();
+    let mut rng = Rng::new(2);
+    c.bench_function("stat_counter/inc", |b| {
+        b.iter(|| counter.inc(&mut rng));
+    });
+    let seq = SeqLock::new((1u64, 2u64));
+    c.bench_function("seqlock/read", |b| {
+        b.iter(|| black_box(seq.read()));
+    });
+    let lock = SpinLock::new();
+    c.bench_function("spinlock/uncontended_cycle", |b| {
+        b.iter(|| {
+            lock.acquire();
+            lock.release();
+        });
+    });
+}
+
+fn bench_cs_driver(c: &mut Criterion) {
+    // One uncontended critical-section execution through the full driver
+    // (granule lookup, policy, stats, HTM attempt) — the per-op overhead
+    // every figure pays.
+    let ale = Ale::new(AleConfig::new(Platform::testbed()), StaticPolicy::new(3, 8));
+    let lock = ale.new_lock("bench", SpinLock::new());
+    let cell = HtmCell::new(0u64);
+    c.bench_function("driver/htm_mode_cs", |b| {
+        b.iter(|| {
+            lock.cs_plain(scope!("bench_cs"), CsOptions::new(), |_| {
+                cell.set(cell.get() + 1);
+            });
+        });
+    });
+    let ale_lockonly = Ale::new(
+        AleConfig::new(Platform::testbed())
+            .without_htm()
+            .without_swopt(),
+        StaticPolicy::new(0, 0),
+    );
+    let lock2 = ale_lockonly.new_lock("bench2", SpinLock::new());
+    c.bench_function("driver/lock_mode_cs", |b| {
+        b.iter(|| {
+            lock2.cs_plain(scope!("bench_cs2"), CsOptions::new(), |_| {
+                cell.set(cell.get() + 1);
+            });
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_htm_cell, bench_transactions, bench_sync, bench_cs_driver
+}
+criterion_main!(benches);

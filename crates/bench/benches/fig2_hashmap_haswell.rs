@@ -1,0 +1,42 @@
+//! Figure 2 bench target: HashMap cells on simulated Haswell.
+//!
+//! Criterion measures the wall time to regenerate representative figure
+//! cells; the *virtual-time* throughput (the figure's y-axis) is printed by
+//! `cargo run -p ale-bench --bin figures -- fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ale_bench::{run_hashmap, HashMapWorkload, Variant};
+use ale_vtime::Platform;
+
+fn fig2_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_hashmap_haswell");
+    let w = HashMapWorkload::read_heavy(16 * 1024);
+    for variant in [
+        Variant::Instrumented,
+        Variant::StaticHl(5),
+        Variant::StaticSl(10),
+        Variant::StaticAll(5, 10),
+    ] {
+        for threads in [1usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(variant.name(), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        black_box(run_hashmap(Platform::haswell(), variant, t, &w, 500, 0, 1).mops)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig2_cells
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 3 bench target: HashMap cells on simulated Rock (fragile
+//! best-effort HTM). See `figures -- fig3` for the full grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ale_bench::{run_hashmap, HashMapWorkload, Variant};
+use ale_vtime::Platform;
+
+fn fig3_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_hashmap_rock");
+    let w = HashMapWorkload::mutate_heavy(16 * 1024);
+    for variant in [
+        Variant::StaticHl(5),
+        Variant::StaticAll(5, 10),
+        Variant::AdaptiveAll,
+    ] {
+        for threads in [1usize, 16] {
+            g.bench_with_input(
+                BenchmarkId::new(variant.name(), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        black_box(run_hashmap(Platform::rock(), variant, t, &w, 400, 400, 2).mops)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_cells
+}
+criterion_main!(benches);

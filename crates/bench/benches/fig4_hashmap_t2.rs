@@ -1,0 +1,38 @@
+//! Figure 4 bench target: HashMap cells on simulated T2-2 (no HTM, 128
+//! hardware threads). See `figures -- fig4` for the full grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ale_bench::{run_hashmap, HashMapWorkload, Variant};
+use ale_vtime::Platform;
+
+fn fig4_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_hashmap_t2");
+    let w = HashMapWorkload::read_heavy(16 * 1024);
+    for variant in [
+        Variant::Instrumented,
+        Variant::StaticSl(10),
+        Variant::AdaptiveSl,
+    ] {
+        for threads in [1usize, 32] {
+            g.bench_with_input(
+                BenchmarkId::new(variant.name(), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        black_box(run_hashmap(Platform::t2(), variant, t, &w, 300, 200, 3).mops)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig4_cells
+}
+criterion_main!(benches);

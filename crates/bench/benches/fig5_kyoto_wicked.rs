@@ -1,0 +1,45 @@
+//! Figure 5 bench target: Kyoto `wicked` cells (nested RW-lock + slot-lock
+//! elision). See `figures -- fig5` for the full grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ale_bench::{run_kyoto, Variant};
+use ale_kyoto::WickedConfig;
+use ale_vtime::Platform;
+
+fn fig5_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_kyoto_wicked");
+    let cfg = WickedConfig {
+        key_space: 8 * 1024,
+        count_permille: 0,
+        ..Default::default()
+    };
+    for variant in [
+        Variant::Uninstrumented,
+        Variant::StaticAll(5, 10),
+        Variant::AdaptiveAll,
+    ] {
+        for threads in [1usize, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(variant.name(), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        black_box(
+                            run_kyoto(Platform::haswell(), variant, t, &cfg, 300, 200, 4).mops,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig5_cells
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerate the paper's figures and statistics.
+//!
+//! ```text
+//! figures [targets…] [--quick] [--out DIR] [--seed N]
+//!
+//! targets: all (default) | fig2 | fig3 | fig4 | fig5 | stats-nomutate |
+//!          report | ablate-elide | ablate-group | ablate-buckets | ablate-x
+//! ```
+//!
+//! Each target prints its table and writes `results/<id>.csv`
+//! (plus `results/report_demo.txt` for the §3.4 report).
+
+use std::path::PathBuf;
+
+use ale_bench::figures::{self, FigOpts, Table};
+
+fn main() {
+    let mut targets: Vec<String> = Vec::new();
+    let mut opts = FigOpts::default();
+    let mut out_dir = PathBuf::from("results");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => out_dir = PathBuf::from(args.next().expect("--out needs a directory")),
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer")
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures [all|fig2|fig3|fig4|fig5|stats-nomutate|report|\
+                     ablate-elide|ablate-group|ablate-buckets|ablate-x]… [--quick] [--out DIR] [--seed N]"
+                );
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "stats-nomutate",
+            "report",
+            "ablate-elide",
+            "ablate-group",
+            "ablate-buckets",
+            "ablate-x",
+            "zipf",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let emit = |table: &Table| {
+        let path = table.write_csv(&out_dir).expect("write CSV");
+        println!("{}", table.render());
+        println!("(written to {})\n", path.display());
+    };
+
+    for target in &targets {
+        let t0 = std::time::Instant::now();
+        eprintln!(
+            "=== {target} ({} mode) ===",
+            if opts.quick { "quick" } else { "full" }
+        );
+        match target.as_str() {
+            "fig2" => emit(&figures::fig2(opts)),
+            "fig3" => emit(&figures::fig3(opts)),
+            "fig4" => emit(&figures::fig4(opts)),
+            "fig5" => emit(&figures::fig5(opts)),
+            "stats-nomutate" => emit(&figures::stats_nomutate(opts)),
+            "report" => {
+                let (table, text) = figures::report_demo(opts);
+                emit(&table);
+                std::fs::create_dir_all(&out_dir).expect("results dir");
+                let p = out_dir.join("report_demo.txt");
+                std::fs::write(&p, &text).expect("write report text");
+                println!("{text}");
+                println!("(full report written to {})\n", p.display());
+            }
+            "ablate-elide" => emit(&figures::ablate_elide(opts)),
+            "ablate-group" => emit(&figures::ablate_group(opts)),
+            "ablate-buckets" => emit(&figures::ablate_buckets(opts)),
+            "ablate-x" => emit(&figures::ablate_x(opts)),
+            "zipf" => emit(&figures::zipf(opts)),
+            other => {
+                eprintln!("unknown target `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("=== {target} done in {:?} ===\n", t0.elapsed());
+    }
+}

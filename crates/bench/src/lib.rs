@@ -1,0 +1,24 @@
+//! # ale-bench — the evaluation harness (§5)
+//!
+//! Regenerates every figure and inline statistic of the paper's evaluation
+//! under the deterministic virtual-time simulator:
+//!
+//! * [`variant::Variant`] — the policy/technique configurations the paper
+//!   names in its figures (`Uninstrumented`, `Instrumented`,
+//!   `Static-HL-x`, `Static-SL`, `Static-All-x:y`, `Adaptive-…`);
+//! * [`harness`] — runners that execute the HashMap microbenchmark and the
+//!   Kyoto `wicked` benchmark for a (platform, variant, thread-count)
+//!   triple and report virtual-time throughput;
+//! * [`figures`] — one function per figure/ablation, emitting CSV + a
+//!   human-readable table (the `figures` binary drives these).
+//!
+//! Results land in `results/*.csv`; EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+pub mod figures;
+pub mod harness;
+pub mod variant;
+
+pub use harness::run_hashmap_mods;
+pub use harness::{run_hashmap, run_kyoto, HashMapWorkload, RunResult};
+pub use variant::{Mods, Variant};

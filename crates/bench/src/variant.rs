@@ -1,0 +1,171 @@
+//! The named configurations of the paper's figures (§5).
+//!
+//! "Instrumented denotes a version that is integrated with ALE … but only
+//! the lock is used … Uninstrumented denotes a baseline implementation
+//! that is not integrated with ALE. Other versions are named by the
+//! policy, the techniques used — HTM, SWOpt, or both (denoted as All) —
+//! and relevant parameters … For readability in figures, we abbreviate
+//! HTMLock as HL and SWOPTLock as SL."
+
+use std::sync::Arc;
+
+use ale_core::{AdaptivePolicy, Ale, AleConfig, StaticPolicy};
+use ale_vtime::Platform;
+
+/// Cross-cutting modifiers for ablation runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mods {
+    /// Disable the grouping mechanism (ablation A2).
+    pub grouping_off: bool,
+    /// Enable grouping under the *static* policy (ablation A2's "on" arm;
+    /// the paper ties grouping to the adaptive policy).
+    pub static_grouping: bool,
+    /// Disable the version-bump elision (ablation A1).
+    pub force_bump: bool,
+    /// Probabilistic grouping deferral (per mille; None = always defer).
+    pub prob_grouping_permille: Option<u64>,
+}
+
+/// A figure-legend configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// No ALE integration at all (plain lock).
+    Uninstrumented,
+    /// ALE-integrated, Lock mode only (measures library overhead).
+    Instrumented,
+    /// Static policy, HTM+Lock, up to `x` HTM attempts.
+    StaticHl(u32),
+    /// Static policy, SWOpt+Lock, up to `y` SWOpt attempts.
+    StaticSl(u32),
+    /// Static policy, HTM+SWOpt+Lock, up to `x` HTM then `y` SWOpt.
+    StaticAll(u32, u32),
+    /// Adaptive policy, HTM+Lock available.
+    AdaptiveHl,
+    /// Adaptive policy, SWOpt+Lock available.
+    AdaptiveSl,
+    /// Adaptive policy, everything available.
+    AdaptiveAll,
+}
+
+impl Variant {
+    /// Figure-legend name (`Static-All-10:10`, `Adaptive-HL`, …).
+    pub fn name(self) -> String {
+        match self {
+            Variant::Uninstrumented => "Uninstrumented".into(),
+            Variant::Instrumented => "Instrumented".into(),
+            Variant::StaticHl(x) => format!("Static-HL-{x}"),
+            Variant::StaticSl(y) => format!("Static-SL-{y}"),
+            Variant::StaticAll(x, y) => format!("Static-All-{x}:{y}"),
+            Variant::AdaptiveHl => "Adaptive-HL".into(),
+            Variant::AdaptiveSl => "Adaptive-SL".into(),
+            Variant::AdaptiveAll => "Adaptive-All".into(),
+        }
+    }
+
+    /// Does this variant use the ALE library at all?
+    pub fn is_ale(self) -> bool {
+        !matches!(self, Variant::Uninstrumented)
+    }
+
+    /// Build the [`Ale`] instance for this variant on `platform`
+    /// (panics for `Uninstrumented`, which has no library instance).
+    pub fn build_ale(self, platform: Platform, seed: u64) -> Arc<Ale> {
+        self.build_ale_mods(platform, seed, Mods::default())
+    }
+
+    /// [`Variant::build_ale`] with ablation modifiers applied.
+    pub fn build_ale_mods(self, platform: Platform, seed: u64, mods: Mods) -> Arc<Ale> {
+        let mut base = AleConfig::new(platform).with_seed(seed);
+        if mods.grouping_off {
+            base = base.without_grouping();
+        }
+        if mods.force_bump {
+            base = base.with_forced_version_bump();
+        }
+        if let Some(p) = mods.prob_grouping_permille {
+            base = base.with_probabilistic_grouping(p);
+        }
+        let static_pol = |x: u32, y: u32| {
+            if mods.static_grouping {
+                StaticPolicy::new(x, y).with_grouping()
+            } else {
+                StaticPolicy::new(x, y)
+            }
+        };
+        match self {
+            Variant::Uninstrumented => panic!("Uninstrumented has no ALE instance"),
+            Variant::Instrumented => Ale::new(base.without_htm().without_swopt(), static_pol(0, 0)),
+            Variant::StaticHl(x) => Ale::new(base.without_swopt(), static_pol(x, 0)),
+            Variant::StaticSl(y) => Ale::new(base.without_htm(), static_pol(0, y)),
+            Variant::StaticAll(x, y) => Ale::new(base, static_pol(x, y)),
+            Variant::AdaptiveHl => Ale::new(base.without_swopt(), AdaptivePolicy::new()),
+            Variant::AdaptiveSl => Ale::new(base.without_htm(), AdaptivePolicy::new()),
+            Variant::AdaptiveAll => Ale::new(base, AdaptivePolicy::new()),
+        }
+    }
+
+    /// The default comparison set for a platform (HTM-less platforms skip
+    /// HTM-only variants, as the paper's T2-2 figures do).
+    pub fn figure_set(platform: &Platform) -> Vec<Variant> {
+        if platform.has_htm() {
+            vec![
+                Variant::Uninstrumented,
+                Variant::Instrumented,
+                Variant::StaticHl(5),
+                Variant::StaticSl(10),
+                Variant::StaticAll(5, 10),
+                Variant::AdaptiveAll,
+            ]
+        } else {
+            vec![
+                Variant::Uninstrumented,
+                Variant::Instrumented,
+                Variant::StaticSl(10),
+                Variant::AdaptiveSl,
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_convention() {
+        assert_eq!(Variant::StaticAll(10, 10).name(), "Static-All-10:10");
+        assert_eq!(Variant::StaticHl(2).name(), "Static-HL-2");
+        assert_eq!(Variant::StaticSl(7).name(), "Static-SL-7");
+        assert_eq!(Variant::AdaptiveAll.name(), "Adaptive-All");
+        assert!(!Variant::Uninstrumented.is_ale());
+        assert!(Variant::Instrumented.is_ale());
+    }
+
+    #[test]
+    fn build_ale_respects_technique_switches() {
+        let p = Platform::testbed();
+        let hl = Variant::StaticHl(3).build_ale(p.clone(), 1);
+        assert!(hl.config().enable_htm && !hl.config().enable_swopt);
+        let sl = Variant::StaticSl(3).build_ale(p.clone(), 1);
+        assert!(!sl.config().enable_htm && sl.config().enable_swopt);
+        let instr = Variant::Instrumented.build_ale(p.clone(), 1);
+        assert!(!instr.config().enable_htm && !instr.config().enable_swopt);
+        let all = Variant::AdaptiveAll.build_ale(p, 1);
+        assert_eq!(all.policy_name(), "Adaptive");
+    }
+
+    #[test]
+    fn figure_set_tracks_htm_availability() {
+        let with = Variant::figure_set(&Platform::haswell());
+        assert!(with.contains(&Variant::StaticHl(5)));
+        let without = Variant::figure_set(&Platform::t2());
+        assert!(!without.iter().any(|v| matches!(v, Variant::StaticHl(_))));
+        assert!(without.contains(&Variant::AdaptiveSl));
+    }
+
+    #[test]
+    #[should_panic(expected = "no ALE instance")]
+    fn uninstrumented_has_no_ale() {
+        let _ = Variant::Uninstrumented.build_ale(Platform::testbed(), 1);
+    }
+}

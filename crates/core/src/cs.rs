@@ -1,0 +1,489 @@
+//! The critical-section driver (§4): the policy-independent engine that
+//! executes one ALE-enabled critical section in HTM, SWOpt, or Lock mode.
+//!
+//! "Each time a critical section is attempted, the library invokes the
+//! policy to determine the mode in which it should be executed … and
+//! executes appropriate critical section preamble code accordingly. For
+//! Lock mode, it acquires the lock. For HTM mode, it first waits for the
+//! lock to be free, then begins a hardware transaction, and then checks
+//! that the lock is not held … For SWOpt execution, the library returns to
+//! user code without acquiring the lock."
+//!
+//! The body closure receives a [`CsCtx`] (the `GET_EXEC_MODE` analogue) and
+//! returns a [`CsOutcome`]: `Done(value)`, or `SwOptFail` when a SWOpt
+//! execution detected interference and wants the driver to retry (§3.2's
+//! loop around `GetImp<true>`).
+
+use std::sync::Arc;
+
+use ale_htm::AbortCode;
+use ale_sync::Backoff;
+use ale_vtime::{now, Rng};
+
+use crate::frame::{self, HeldKind};
+use crate::granule::Granule;
+use crate::meta::LockMeta;
+use crate::mode::ExecMode;
+use crate::policy::{ExecRecord, ModeCaps};
+use crate::Ale;
+
+/// Explicit-abort code for "a nested critical section does not allow HTM"
+/// (§4.1: the enclosing hardware transaction must abort).
+pub const ABORT_NESTED_NO_HTM: u8 = 0xFE;
+
+/// How much budget a "real" HTM abort consumes relative to a lock-held
+/// abort ("the library accounts for such aborts in a much lighter way than
+/// for others", §4).
+const LOCK_HELD_WEIGHT: u32 = 4;
+
+/// Per-critical-section options (the choice of `BEGIN_CS` variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsOptions {
+    /// HTM mode is allowed for this critical section.
+    pub htm: bool,
+    /// A SWOpt path exists (the `BEGIN_CS` "SWOpt variant").
+    pub swopt: bool,
+    /// The critical section may execute a conflicting region, i.e. it can
+    /// interfere with SWOpt readers. Drives the grouping mechanism's
+    /// deferral. Pure readers should clear this.
+    pub conflicting: bool,
+}
+
+impl Default for CsOptions {
+    fn default() -> Self {
+        CsOptions {
+            htm: true,
+            swopt: false,
+            conflicting: true,
+        }
+    }
+}
+
+impl CsOptions {
+    /// Defaults: HTM allowed, no SWOpt path, may conflict.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a SWOpt path.
+    pub fn with_swopt(mut self) -> Self {
+        self.swopt = true;
+        self
+    }
+
+    /// Forbid HTM for this critical section.
+    pub fn without_htm(mut self) -> Self {
+        self.htm = false;
+        self
+    }
+
+    /// Declare that this critical section never interferes with SWOpt
+    /// readers (it has no conflicting region).
+    pub fn non_conflicting(mut self) -> Self {
+        self.conflicting = false;
+        self
+    }
+}
+
+/// Result of one body invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsOutcome<T> {
+    /// The critical section completed with this value.
+    Done(T),
+    /// (SWOpt mode only.) Interference was detected; the attempt had no
+    /// harmful side effects and the driver should retry per policy.
+    SwOptFail,
+    /// (SWOpt mode only.) The "self abort" idiom (§3.3): the body reached a
+    /// conflicting region it cannot perform optimistically; retry the
+    /// critical section *without* the SWOpt path.
+    SwOptSelfAbort,
+}
+
+/// Execution context handed to the body (the `GET_EXEC_MODE` /
+/// `COULD_SWOPT_BE_RUNNING` surface).
+pub struct CsCtx<'a> {
+    mode: ExecMode,
+    meta: &'a LockMeta,
+    force_bump: bool,
+}
+
+impl CsCtx<'_> {
+    /// Which mode this attempt is executing in.
+    #[inline]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// In SWOpt mode, sugar for `self.mode() == ExecMode::SwOpt`.
+    #[inline]
+    pub fn is_swopt(&self) -> bool {
+        self.mode == ExecMode::SwOpt
+    }
+
+    /// The `COULD_SWOPT_BE_RUNNING` query (§3.3): may a SWOpt execution of
+    /// a critical section under this lock be running right now?
+    ///
+    /// * **HTM mode**: reads the striped indicator *transactionally*, so
+    ///   eliding the version bump on a `false` answer is sound — a SWOpt
+    ///   path starting later aborts this transaction.
+    /// * **Lock mode**: always `true`. A Lock-mode execution cannot
+    ///   subscribe, so it must bump its version unconditionally.
+    /// * **SWOpt mode**: trivially `true`.
+    pub fn could_swopt_be_running(&self) -> bool {
+        if self.force_bump {
+            return true;
+        }
+        match self.mode {
+            ExecMode::Htm => self.meta.grouping.could_swopt_be_running(),
+            ExecMode::Lock | ExecMode::SwOpt => true,
+        }
+    }
+}
+
+/// Internal adapter over the concrete lock flavour (mutex, RW-shared,
+/// RW-exclusive); the driver is generic over this.
+pub(crate) trait LockOps {
+    /// Acquire; returns how the hold should be recorded.
+    fn acquire(&self) -> HeldKind;
+    fn release(&self);
+    /// Is the lock held in a way that conflicts with eliding this critical
+    /// section? Reads through `HtmCell::get`, so inside a transaction it
+    /// subscribes and outside it is a consistent plain read.
+    fn is_conflicting_locked(&self) -> bool;
+    /// The hold kind this critical section needs for re-entrancy checks.
+    fn required_hold(&self) -> HeldKind;
+}
+
+/// Probabilistic SNZI respect (§4.2): defer with the configured
+/// probability; 1000‰ is the paper's always-defer behaviour.
+fn defer_now(ale: &Ale, rng: &mut Rng) -> bool {
+    let p = ale.config().grouping_defer_permille;
+    p >= 1000 || rng.gen_ratio(p, 1000)
+}
+
+/// Can an existing hold satisfy a nested requirement?
+fn hold_satisfies(held: HeldKind, required: HeldKind) -> bool {
+    match (held, required) {
+        (HeldKind::Excl, _) => true,
+        (HeldKind::Shared, HeldKind::Shared) => true,
+        (HeldKind::Shared, HeldKind::Excl) => false,
+    }
+}
+
+/// Release-on-drop guard so Lock mode unwinds cleanly.
+struct ReleaseGuard<'a, O: LockOps + ?Sized> {
+    ops: &'a O,
+    lock_key: usize,
+}
+
+impl<O: LockOps + ?Sized> Drop for ReleaseGuard<'_, O> {
+    fn drop(&mut self) {
+        frame::note_released(self.lock_key);
+        self.ops.release();
+    }
+}
+
+/// Execute one ALE critical section. The caller has already entered the
+/// scope (so `current_context` includes it).
+pub(crate) fn run_cs<T, O: LockOps + ?Sized>(
+    ale: &Ale,
+    meta: &Arc<LockMeta>,
+    ops: &O,
+    opts: CsOptions,
+    body: &mut dyn FnMut(&CsCtx<'_>) -> CsOutcome<T>,
+) -> T {
+    let lock_key = meta.key();
+
+    // --- Flattened nesting inside an HTM execution (§4.1) ---------------
+    if frame::in_htm_execution() {
+        if !opts.htm {
+            ale_htm::explicit_abort(ABORT_NESTED_NO_HTM);
+        }
+        let held_ok =
+            frame::held_kind(lock_key).is_some_and(|h| hold_satisfies(h, ops.required_hold()));
+        if !held_ok && ops.is_conflicting_locked() {
+            // Transactional read: we are now subscribed; abort since held.
+            ale_htm::explicit_abort(AbortCode::LOCK_HELD);
+        }
+        return match body(&CsCtx {
+            mode: ExecMode::Htm,
+            meta,
+            force_bump: ale.config().force_version_bump,
+        }) {
+            CsOutcome::Done(v) => v,
+            CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort => {
+                panic!("SWOpt failure signalled while in HTM mode")
+            }
+        };
+    }
+
+    let context = crate::scope::current_context();
+    let granule = meta
+        .granules
+        .lookup(context, || ale.policy().make_granule_state());
+    let mut rng = ale.fork_thread_rng();
+
+    let held = frame::held_kind(lock_key);
+    let reentrant = held.is_some_and(|h| hold_satisfies(h, ops.required_hold()));
+    // A shared holder opening an exclusive critical section on the same
+    // lock is a lock upgrade: unsupported (like the paper's library, ALE
+    // requires proper nesting) and guaranteed to deadlock — fail loudly.
+    assert!(
+        !(held == Some(HeldKind::Shared) && ops.required_hold() == HeldKind::Excl),
+        "improper nesting: exclusive critical section on a lock this thread          holds shared (lock upgrade is not supported)"
+    );
+
+    let caps = ModeCaps {
+        htm: opts.htm && ale.htm_enabled(),
+        swopt: opts.swopt
+            && ale.swopt_enabled()
+            && !reentrant
+            && !frame::in_swopt_for_other_lock(lock_key),
+    };
+    let plan = ale
+        .policy()
+        .plan(meta, &granule, caps, &mut rng)
+        .clamped(caps);
+    let use_grouping = plan.use_grouping && ale.grouping_enabled();
+
+    // Measure 100 % during learning, ~3 % otherwise.
+    let measure = plan.measure || rng.next_u32() & 31 == 0;
+    let exec_start = measure.then(now);
+
+    let mut rec = ExecRecord::default();
+    let value = run_protocol(
+        ale,
+        meta,
+        ops,
+        opts,
+        body,
+        &granule,
+        &mut rng,
+        plan,
+        use_grouping,
+        reentrant,
+        measure,
+        lock_key,
+        &mut rec,
+    );
+
+    granule.stats.executions.inc(&mut rng);
+    if let Some(start) = exec_start {
+        let total = now().saturating_sub(start);
+        granule.stats.exec_time.add_duration(total);
+        rec.exec_ns = Some(total);
+    }
+    ale.policy().on_complete(meta, &granule, &rec, &mut rng);
+    value
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_protocol<T, O: LockOps + ?Sized>(
+    ale: &Ale,
+    meta: &Arc<LockMeta>,
+    ops: &O,
+    opts: CsOptions,
+    body: &mut dyn FnMut(&CsCtx<'_>) -> CsOutcome<T>,
+    granule: &Granule,
+    rng: &mut Rng,
+    plan: crate::policy::AttemptPlan,
+    use_grouping: bool,
+    reentrant: bool,
+    measure: bool,
+    lock_key: usize,
+    rec: &mut ExecRecord,
+) -> T {
+    // --------------------------- HTM mode ------------------------------
+    if plan.htm_attempts > 0 {
+        let mut budget = plan.htm_attempts.saturating_mul(LOCK_HELD_WEIGHT);
+        let mut backoff = Backoff::with_max_exp(8);
+        let profile = ale
+            .htm_profile()
+            .expect("plan.htm_attempts > 0 without HTM");
+        while budget > 0 {
+            // Preamble: wait for the lock to be free (unless we hold it —
+            // then the check is skipped entirely, §4.1).
+            if !reentrant {
+                let mut wait = Backoff::with_max_exp(8);
+                while ops.is_conflicting_locked() {
+                    wait.spin();
+                }
+            }
+            if opts.conflicting && use_grouping && defer_now(ale, rng) {
+                meta.grouping.wait_for_swopt_retries();
+            }
+
+            rec.htm_attempts += 1;
+            granule.stats.record_attempt(ExecMode::Htm, rng);
+            let t0 = measure.then(now);
+            let force_bump = ale.config().force_version_bump;
+            let result = ale_htm::attempt(profile, rng, || {
+                if !reentrant && ops.is_conflicting_locked() {
+                    // Subscribed and held: abort, possibly retry elsewhere.
+                    ale_htm::explicit_abort(AbortCode::LOCK_HELD);
+                }
+                frame::with_frame(lock_key, ExecMode::Htm, || {
+                    body(&CsCtx {
+                        mode: ExecMode::Htm,
+                        meta,
+                        force_bump,
+                    })
+                })
+            });
+            match result {
+                Ok(CsOutcome::Done(v)) => {
+                    granule.stats.record_success(ExecMode::Htm, rng);
+                    if let Some(t0) = t0 {
+                        granule.stats.success_time[ExecMode::Htm.index()]
+                            .add_duration(now().saturating_sub(t0));
+                    }
+                    rec.mode = Some(ExecMode::Htm);
+                    return v;
+                }
+                Ok(CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort) => {
+                    panic!("SWOpt failure signalled while in HTM mode")
+                }
+                Err(status) => {
+                    if let Some(t0) = t0 {
+                        rec.htm_fail_ns += now().saturating_sub(t0);
+                    }
+                    // Classify the abort; lock-held aborts are budgeted
+                    // lightly to avoid the cascade effect (§4).
+                    let lock_held = status.code.is_lock_held()
+                        || (status.code == AbortCode::Conflict && ops.is_conflicting_locked());
+                    if lock_held {
+                        granule.stats.lock_held_aborts.inc(rng);
+                        rec.lock_held_aborts += 1;
+                        budget = budget.saturating_sub(1);
+                    } else {
+                        match status.code {
+                            AbortCode::Capacity => {
+                                granule.stats.capacity_aborts.inc(rng);
+                                rec.capacity_abort = true;
+                                budget = 0; // retrying cannot help
+                            }
+                            AbortCode::Explicit(ABORT_NESTED_NO_HTM) => {
+                                budget = 0; // a nested CS forbids HTM
+                            }
+                            AbortCode::Explicit(AbortCode::TX_UNFRIENDLY) => {
+                                // The body needs something transactions
+                                // cannot do (an internal mutex, allocation
+                                // fallback): no point retrying in HTM.
+                                budget = 0;
+                            }
+                            AbortCode::Conflict => {
+                                granule.stats.conflict_aborts.inc(rng);
+                                budget = budget.saturating_sub(LOCK_HELD_WEIGHT);
+                            }
+                            _ => {
+                                granule.stats.spurious_aborts.inc(rng);
+                                budget = budget.saturating_sub(LOCK_HELD_WEIGHT);
+                            }
+                        }
+                    }
+                    backoff.spin();
+                }
+            }
+        }
+        rec.htm_gave_up = true;
+    }
+    let fallback_start = (measure && rec.htm_gave_up).then(now);
+    let finish = |rec: &mut ExecRecord| {
+        if let Some(fs) = fallback_start {
+            rec.fallback_ns = Some(now().saturating_sub(fs));
+        }
+    };
+
+    // -------------------------- SWOpt mode -----------------------------
+    if plan.swopt_attempts > 0 {
+        // Register as an active SWOpt executor for the whole execution so
+        // COULD_SWOPT_BE_RUNNING covers us (§3.3).
+        let _active = meta.grouping.swopt_active();
+        let mut retry_guard = None;
+        let mut backoff = Backoff::with_max_exp(6);
+        for _ in 0..plan.swopt_attempts {
+            rec.swopt_attempts += 1;
+            granule.stats.record_attempt(ExecMode::SwOpt, rng);
+            let t0 = measure.then(now);
+            let force_bump = ale.config().force_version_bump;
+            let outcome = frame::with_frame(lock_key, ExecMode::SwOpt, || {
+                body(&CsCtx {
+                    mode: ExecMode::SwOpt,
+                    meta,
+                    force_bump,
+                })
+            });
+            match outcome {
+                CsOutcome::Done(v) => {
+                    granule.stats.record_success(ExecMode::SwOpt, rng);
+                    if let Some(t0) = t0 {
+                        granule.stats.success_time[ExecMode::SwOpt.index()]
+                            .add_duration(now().saturating_sub(t0));
+                    }
+                    rec.mode = Some(ExecMode::SwOpt);
+                    finish(rec);
+                    return v;
+                }
+                CsOutcome::SwOptFail => {
+                    granule.stats.swopt_fails.inc(rng);
+                    if use_grouping && retry_guard.is_none() {
+                        // Announce "SWOpt retrying" so conflicting
+                        // executions defer to us (§4.2 grouping).
+                        retry_guard = Some(meta.grouping.swopt_retrying());
+                    }
+                    backoff.spin();
+                }
+                CsOutcome::SwOptSelfAbort => {
+                    // Self abort (§3.3): stop optimistic attempts and fall
+                    // through to Lock mode immediately.
+                    granule.stats.swopt_fails.inc(rng);
+                    break;
+                }
+            }
+        }
+    }
+
+    // --------------------------- Lock mode -----------------------------
+    if opts.conflicting && use_grouping && defer_now(ale, rng) {
+        meta.grouping.wait_for_swopt_retries();
+    }
+    granule.stats.record_attempt(ExecMode::Lock, rng);
+    let t0 = measure.then(now);
+    let force_bump = ale.config().force_version_bump;
+    let outcome = if reentrant {
+        // We already hold a satisfying lock: run without re-acquiring.
+        frame::with_frame(lock_key, ExecMode::Lock, || {
+            body(&CsCtx {
+                mode: ExecMode::Lock,
+                meta,
+                force_bump,
+            })
+        })
+    } else {
+        let kind = ops.acquire();
+        frame::note_acquired(lock_key, kind);
+        let _release = ReleaseGuard { ops, lock_key };
+        frame::with_frame(lock_key, ExecMode::Lock, || {
+            body(&CsCtx {
+                mode: ExecMode::Lock,
+                meta,
+                force_bump,
+            })
+        })
+    };
+    match outcome {
+        CsOutcome::Done(v) => {
+            granule.stats.record_success(ExecMode::Lock, rng);
+            if let Some(t0) = t0 {
+                granule.stats.success_time[ExecMode::Lock.index()]
+                    .add_duration(now().saturating_sub(t0));
+            }
+            rec.mode = Some(ExecMode::Lock);
+            finish(rec);
+            v
+        }
+        CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort => {
+            panic!("a Lock-mode execution cannot fail")
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Granules: per-(lock, context) metadata and statistics (§3.4, §4).
+//!
+//! "The library associates granule metadata with each ⟨lock, context⟩ pair
+//! with which a critical section is executed, which is used to record
+//! information and statistics about these executions." Policies read these
+//! statistics to choose execution modes; reports render them for humans.
+//!
+//! The granule table is append-only with a lock-free read path (an array of
+//! `AtomicPtr` slots scanned linearly): granule lookup happens on *every*
+//! critical-section execution, so it must not serialise threads.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+use ale_sync::{SampledTime, StatCounter, TickMutex};
+use ale_vtime::{tick, Event, Rng};
+
+use crate::mode::ExecMode;
+use crate::scope::{current_context_labels, ContextId};
+
+/// Maximum distinct contexts per lock. Contexts are static program
+/// structure (scope stacks), so a small fixed budget is plenty; overflow
+/// falls back to the last slot's granule (merging statistics, which is
+/// benign and reported).
+pub const MAX_GRANULES_PER_LOCK: usize = 64;
+
+/// Statistics the library records per granule (§3.4): execution counts,
+/// per-mode attempt/success counts, abort breakdown, and timing.
+#[derive(Debug, Default)]
+pub struct GranuleStats {
+    /// Completed critical-section executions.
+    pub executions: StatCounter,
+    /// Attempts per mode (HTM / SWOpt / Lock), indexed by `ExecMode::index`.
+    pub attempts: [StatCounter; 3],
+    /// Successes per mode.
+    pub successes: [StatCounter; 3],
+    /// HTM aborts attributed to a concurrent lock acquisition — accounted
+    /// "in a much lighter way than others" by the retry budget (§4).
+    pub lock_held_aborts: StatCounter,
+    /// HTM aborts by data conflict.
+    pub conflict_aborts: StatCounter,
+    /// HTM aborts by capacity overflow.
+    pub capacity_aborts: StatCounter,
+    /// HTM aborts by micro-architectural noise.
+    pub spurious_aborts: StatCounter,
+    /// SWOpt attempts that detected interference and retried.
+    pub swopt_fails: StatCounter,
+    /// Mean successful-execution time per mode (sampled ~3 %, or 100 %
+    /// during adaptive learning phases).
+    pub success_time: [SampledTime; 3],
+    /// Mean whole-execution time (including failed attempts).
+    pub exec_time: SampledTime,
+}
+
+impl GranuleStats {
+    pub fn record_attempt(&self, mode: ExecMode, rng: &mut Rng) {
+        self.attempts[mode.index()].inc(rng);
+    }
+
+    pub fn record_success(&self, mode: ExecMode, rng: &mut Rng) {
+        self.successes[mode.index()].inc(rng);
+    }
+
+    /// Clear all recorded statistics (used with `Ale::reset_statistics`).
+    pub fn reset(&self) {
+        self.executions.reset();
+        for c in self.attempts.iter().chain(self.successes.iter()) {
+            c.reset();
+        }
+        self.lock_held_aborts.reset();
+        self.conflict_aborts.reset();
+        self.capacity_aborts.reset();
+        self.spurious_aborts.reset();
+        self.swopt_fails.reset();
+        for t in &self.success_time {
+            t.reset();
+        }
+        self.exec_time.reset();
+    }
+
+    /// Success ratio for a mode, if any attempts were recorded.
+    pub fn success_ratio(&self, mode: ExecMode) -> Option<f64> {
+        let a = self.attempts[mode.index()].read();
+        if a == 0 {
+            return None;
+        }
+        Some(self.successes[mode.index()].read() as f64 / a as f64)
+    }
+}
+
+/// Per-(lock, context) metadata: statistics plus a policy-owned state blob.
+pub struct Granule {
+    pub context: ContextId,
+    /// Scope labels of the context at creation time (outermost first).
+    pub labels: Vec<&'static str>,
+    pub stats: GranuleStats,
+    /// Opaque per-granule policy state (e.g. the adaptive policy's learned
+    /// X values and histograms), created by `Policy::make_granule_state`.
+    pub policy_state: Box<dyn Any + Send + Sync>,
+}
+
+impl Granule {
+    pub fn describe(&self) -> String {
+        if self.labels.is_empty() {
+            "<root>".to_string()
+        } else {
+            self.labels.join(" / ")
+        }
+    }
+}
+
+impl std::fmt::Debug for Granule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Granule")
+            .field("context", &self.context)
+            .field("labels", &self.labels)
+            .finish()
+    }
+}
+
+/// Append-only granule table with lock-free lookup.
+pub struct GranuleTable {
+    slots: Vec<AtomicPtr<Granule>>,
+    /// Owns the granules; also serialises insertion.
+    owned: TickMutex<Vec<Arc<Granule>>>,
+}
+
+impl Default for GranuleTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GranuleTable {
+    pub fn new() -> Self {
+        GranuleTable {
+            slots: (0..MAX_GRANULES_PER_LOCK)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            owned: TickMutex::new(Vec::new()),
+        }
+    }
+
+    /// Find the granule for `context`, creating it on first sight (with
+    /// policy state from `make_state`).
+    pub fn lookup(
+        &self,
+        context: ContextId,
+        make_state: impl FnOnce() -> Box<dyn Any + Send + Sync>,
+    ) -> Arc<Granule> {
+        tick(Event::SharedLoad);
+        for slot in &self.slots {
+            let p = slot.load(Ordering::Acquire);
+            if p.is_null() {
+                break;
+            }
+            // SAFETY: slot pointers reference granules owned (and never
+            // dropped) by `self.owned` for the table's lifetime.
+            let g = unsafe { &*p };
+            if g.context == context {
+                // SAFETY: as above; the Arc in `owned` keeps the count ≥ 1.
+                unsafe { Arc::increment_strong_count(p) };
+                return unsafe { Arc::from_raw(p) };
+            }
+        }
+        self.insert(context, make_state)
+    }
+
+    fn insert(
+        &self,
+        context: ContextId,
+        make_state: impl FnOnce() -> Box<dyn Any + Send + Sync>,
+    ) -> Arc<Granule> {
+        let mut owned = self.owned.lock();
+        // Re-scan under the lock (we may have raced another inserter).
+        for g in owned.iter() {
+            if g.context == context {
+                return Arc::clone(g);
+            }
+        }
+        let granule = Arc::new(Granule {
+            context,
+            labels: current_context_labels(),
+            stats: GranuleStats::default(),
+            policy_state: make_state(),
+        });
+        if owned.len() >= MAX_GRANULES_PER_LOCK {
+            // Overflow: merge into the last granule rather than grow.
+            return Arc::clone(owned.last().expect("table full implies nonempty"));
+        }
+        let idx = owned.len();
+        owned.push(Arc::clone(&granule));
+        self.slots[idx].store(Arc::as_ptr(&granule) as *mut Granule, Ordering::Release);
+        granule
+    }
+
+    /// Snapshot of all granules (for reports and phase transitions).
+    pub fn all(&self) -> Vec<Arc<Granule>> {
+        self.owned.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.owned.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_state() -> Box<dyn Any + Send + Sync> {
+        Box::new(())
+    }
+
+    #[test]
+    fn lookup_creates_once_and_finds_after() {
+        let t = GranuleTable::new();
+        let a = t.lookup(ContextId(1), no_state);
+        let b = t.lookup(ContextId(1), no_state);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(t.len(), 1);
+        let c = t.lookup(ContextId(2), no_state);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.all().len(), 2);
+    }
+
+    #[test]
+    fn overflow_merges_into_last_granule() {
+        let t = GranuleTable::new();
+        for i in 0..MAX_GRANULES_PER_LOCK as u64 {
+            t.lookup(ContextId(i), no_state);
+        }
+        assert_eq!(t.len(), MAX_GRANULES_PER_LOCK);
+        let extra = t.lookup(ContextId(10_000), no_state);
+        assert_eq!(t.len(), MAX_GRANULES_PER_LOCK, "table must not grow");
+        assert_eq!(extra.context, ContextId(MAX_GRANULES_PER_LOCK as u64 - 1));
+    }
+
+    #[test]
+    fn concurrent_lookup_yields_one_granule_per_context() {
+        let t = GranuleTable::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let g = t.lookup(ContextId(i % 10), no_state);
+                        assert_eq!(g.context, ContextId(i % 10));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn stats_record_and_ratio() {
+        let s = GranuleStats::default();
+        let mut rng = Rng::new(1);
+        assert_eq!(s.success_ratio(ExecMode::Htm), None);
+        for _ in 0..10 {
+            s.record_attempt(ExecMode::Htm, &mut rng);
+        }
+        for _ in 0..7 {
+            s.record_success(ExecMode::Htm, &mut rng);
+        }
+        let r = s.success_ratio(ExecMode::Htm).unwrap();
+        assert!((r - 0.7).abs() < 1e-9, "{r}");
+        assert_eq!(s.success_ratio(ExecMode::SwOpt), None);
+    }
+
+    #[test]
+    fn granule_describe_uses_labels() {
+        let t = GranuleTable::new();
+        let g = t.lookup(ContextId(9), no_state);
+        assert_eq!(g.describe(), "<root>", "no scopes entered in this test");
+    }
+}

@@ -1,0 +1,177 @@
+//! Execution modes and mode progressions.
+
+/// How a critical-section execution attempt runs (§1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Transactional Lock Elision: inside a hardware transaction, with the
+    /// lock checked-and-subscribed, without acquiring it.
+    Htm,
+    /// Optimistic software execution: run the programmer-supplied SWOpt
+    /// path, detecting interference via explicit version numbers.
+    SwOpt,
+    /// Acquire the lock (the always-correct fallback).
+    Lock,
+}
+
+impl ExecMode {
+    /// Dense index for per-mode statistics arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ExecMode::Htm => 0,
+            ExecMode::SwOpt => 1,
+            ExecMode::Lock => 2,
+        }
+    }
+
+    pub const ALL: [ExecMode; 3] = [ExecMode::Htm, ExecMode::SwOpt, ExecMode::Lock];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Htm => "HTM",
+            ExecMode::SwOpt => "SWOpt",
+            ExecMode::Lock => "Lock",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A mode progression: which modes are tried, in the fixed order
+/// HTM → SWOpt → Lock (§4.2). The adaptive policy runs one learning phase
+/// per available progression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Progression {
+    /// Lock only.
+    LockOnly,
+    /// SWOpt, then Lock ("SL").
+    SwOptLock,
+    /// HTM, then Lock ("HL").
+    HtmLock,
+    /// HTM, then SWOpt, then Lock ("All").
+    All,
+}
+
+impl Progression {
+    pub fn uses_htm(self) -> bool {
+        matches!(self, Progression::HtmLock | Progression::All)
+    }
+
+    pub fn uses_swopt(self) -> bool {
+        matches!(self, Progression::SwOptLock | Progression::All)
+    }
+
+    /// Dense index for per-progression tables.
+    pub fn index(self) -> usize {
+        match self {
+            Progression::LockOnly => 0,
+            Progression::SwOptLock => 1,
+            Progression::HtmLock => 2,
+            Progression::All => 3,
+        }
+    }
+
+    pub const ALL_PROGRESSIONS: [Progression; 4] = [
+        Progression::LockOnly,
+        Progression::SwOptLock,
+        Progression::HtmLock,
+        Progression::All,
+    ];
+
+    /// The progressions available given which techniques a critical section
+    /// (and the platform) support, in the paper's learning order.
+    pub fn available(htm: bool, swopt: bool) -> Vec<Progression> {
+        Self::ALL_PROGRESSIONS
+            .into_iter()
+            .filter(|p| (!p.uses_htm() || htm) && (!p.uses_swopt() || swopt))
+            .collect()
+    }
+
+    /// The most capable progression for the given technique availability.
+    pub fn best_available(htm: bool, swopt: bool) -> Progression {
+        match (htm, swopt) {
+            (true, true) => Progression::All,
+            (true, false) => Progression::HtmLock,
+            (false, true) => Progression::SwOptLock,
+            (false, false) => Progression::LockOnly,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Progression::LockOnly => "Lock",
+            Progression::SwOptLock => "SL",
+            Progression::HtmLock => "HL",
+            Progression::All => "All",
+        }
+    }
+}
+
+impl std::fmt::Display for Progression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_distinct() {
+        let idx: Vec<usize> = ExecMode::ALL.iter().map(|m| m.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+        let pidx: Vec<usize> = Progression::ALL_PROGRESSIONS
+            .iter()
+            .map(|p| p.index())
+            .collect();
+        assert_eq!(pidx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn availability_filters_progressions() {
+        assert_eq!(
+            Progression::available(true, true),
+            Progression::ALL_PROGRESSIONS.to_vec()
+        );
+        assert_eq!(
+            Progression::available(false, true),
+            vec![Progression::LockOnly, Progression::SwOptLock]
+        );
+        assert_eq!(
+            Progression::available(true, false),
+            vec![Progression::LockOnly, Progression::HtmLock]
+        );
+        assert_eq!(
+            Progression::available(false, false),
+            vec![Progression::LockOnly]
+        );
+    }
+
+    #[test]
+    fn best_available_matches_capabilities() {
+        assert_eq!(Progression::best_available(true, true), Progression::All);
+        assert_eq!(
+            Progression::best_available(false, true),
+            Progression::SwOptLock
+        );
+        assert_eq!(
+            Progression::best_available(true, false),
+            Progression::HtmLock
+        );
+        assert_eq!(
+            Progression::best_available(false, false),
+            Progression::LockOnly
+        );
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(format!("{}", ExecMode::SwOpt), "SWOpt");
+        assert_eq!(format!("{}", Progression::All), "All");
+    }
+}

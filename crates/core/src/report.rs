@@ -1,0 +1,223 @@
+//! Statistics and profiling reports (§3.4).
+//!
+//! "Even without using HTM or SWOpt modes, these reports provide insights
+//! into application behavior on a given platform or workload … The reports
+//! have also been invaluable in understanding and improving behavior of
+//! adaptive policies."
+//!
+//! [`Report`] is a plain data snapshot (render it with `Display`, or walk
+//! it programmatically — the benchmark harness extracts per-granule mode
+//! breakdowns from it to reproduce the paper's inline statistics).
+
+use std::sync::Arc;
+
+use crate::meta::LockMeta;
+use crate::mode::ExecMode;
+use crate::Ale;
+
+/// Snapshot of one granule's statistics.
+#[derive(Debug, Clone)]
+pub struct GranuleReport {
+    /// Human description of the context (scope labels, outermost first).
+    pub context: String,
+    pub executions: u64,
+    /// Per mode (HTM/SWOpt/Lock): attempts, successes, avg success ns.
+    pub attempts: [u64; 3],
+    pub successes: [u64; 3],
+    pub avg_success_ns: [Option<u64>; 3],
+    /// Sampled time recorded per mode ("how much time was spent in each
+    /// mode", §3.4). Comparable across modes of one granule.
+    pub sampled_time_ns: [u64; 3],
+    pub lock_held_aborts: u64,
+    pub conflict_aborts: u64,
+    pub capacity_aborts: u64,
+    pub spurious_aborts: u64,
+    pub swopt_fails: u64,
+    pub avg_exec_ns: Option<u64>,
+    /// The policy's current decision for this granule.
+    pub policy: String,
+}
+
+impl GranuleReport {
+    /// Fraction of executions that completed in `mode`.
+    pub fn mode_share(&self, mode: ExecMode) -> f64 {
+        if self.executions == 0 {
+            return 0.0;
+        }
+        self.successes[mode.index()] as f64 / self.executions as f64
+    }
+
+    /// HTM attempt success ratio, if HTM was attempted.
+    pub fn htm_success_ratio(&self) -> Option<f64> {
+        let a = self.attempts[ExecMode::Htm.index()];
+        (a > 0).then(|| self.successes[ExecMode::Htm.index()] as f64 / a as f64)
+    }
+
+    /// Fraction of this granule's sampled time spent in `mode` (§3.4).
+    pub fn time_share(&self, mode: ExecMode) -> Option<f64> {
+        let total: u64 = self.sampled_time_ns.iter().sum();
+        (total > 0).then(|| self.sampled_time_ns[mode.index()] as f64 / total as f64)
+    }
+}
+
+/// Snapshot of one lock's statistics.
+#[derive(Debug, Clone)]
+pub struct LockReport {
+    pub label: &'static str,
+    /// The policy's current per-lock decision description.
+    pub policy: String,
+    pub granules: Vec<GranuleReport>,
+}
+
+impl LockReport {
+    pub fn total_executions(&self) -> u64 {
+        self.granules.iter().map(|g| g.executions).sum()
+    }
+}
+
+/// Snapshot of a whole [`Ale`] instance.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub policy: String,
+    pub locks: Vec<LockReport>,
+}
+
+pub(crate) fn build(ale: &Ale, metas: &[Arc<LockMeta>]) -> Report {
+    let policy = ale.policy();
+    let locks = metas
+        .iter()
+        .map(|meta| {
+            let granules = meta
+                .granules
+                .all()
+                .iter()
+                .map(|g| {
+                    let s = &g.stats;
+                    GranuleReport {
+                        context: g.describe(),
+                        executions: s.executions.read(),
+                        attempts: std::array::from_fn(|i| s.attempts[i].read()),
+                        successes: std::array::from_fn(|i| s.successes[i].read()),
+                        avg_success_ns: std::array::from_fn(|i| s.success_time[i].avg_ns(1)),
+                        sampled_time_ns: std::array::from_fn(|i| s.success_time[i].total_ns()),
+                        lock_held_aborts: s.lock_held_aborts.read(),
+                        conflict_aborts: s.conflict_aborts.read(),
+                        capacity_aborts: s.capacity_aborts.read(),
+                        spurious_aborts: s.spurious_aborts.read(),
+                        swopt_fails: s.swopt_fails.read(),
+                        avg_exec_ns: s.exec_time.avg_ns(1),
+                        policy: policy.describe_granule(meta, g),
+                    }
+                })
+                .collect();
+            LockReport {
+                label: meta.label(),
+                policy: policy.describe_lock(meta),
+                granules,
+            }
+        })
+        .collect();
+    Report {
+        policy: ale.policy_name(),
+        locks,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "=== ALE report (policy: {}) ===", self.policy)?;
+        for lock in &self.locks {
+            writeln!(
+                f,
+                "lock `{}` — {} executions{}",
+                lock.label,
+                lock.total_executions(),
+                if lock.policy.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", lock.policy)
+                }
+            )?;
+            for g in &lock.granules {
+                writeln!(f, "  context: {}", g.context)?;
+                if !g.policy.is_empty() {
+                    writeln!(f, "    policy: {}", g.policy)?;
+                }
+                writeln!(f, "    executions: {}", g.executions)?;
+                for mode in ExecMode::ALL {
+                    let i = mode.index();
+                    if g.attempts[i] == 0 {
+                        continue;
+                    }
+                    let avg = g.avg_success_ns[i]
+                        .map(|n| format!("{n} ns"))
+                        .unwrap_or_else(|| "-".into());
+                    let share = g
+                        .time_share(mode)
+                        .map(|sh| format!("{:.0} %", sh * 100.0))
+                        .unwrap_or_else(|| "-".into());
+                    writeln!(
+                        f,
+                        "    {:<6} attempts: {:<8} successes: {:<8} avg: {:<10} time share: {}",
+                        mode.name(),
+                        g.attempts[i],
+                        g.successes[i],
+                        avg,
+                        share
+                    )?;
+                }
+                let aborts =
+                    g.lock_held_aborts + g.conflict_aborts + g.capacity_aborts + g.spurious_aborts;
+                if aborts > 0 {
+                    writeln!(
+                        f,
+                        "    HTM aborts — lock-held: {} conflict: {} capacity: {} spurious: {}",
+                        g.lock_held_aborts, g.conflict_aborts, g.capacity_aborts, g.spurious_aborts
+                    )?;
+                }
+                if g.swopt_fails > 0 {
+                    writeln!(f, "    SWOpt interference retries: {}", g.swopt_fails)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Report {
+    /// Flat CSV rendering (one row per granule), for the figure harness.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "lock,context,executions,htm_attempts,htm_successes,swopt_attempts,\
+             swopt_successes,lock_attempts,lock_successes,lock_held_aborts,\
+             conflict_aborts,capacity_aborts,spurious_aborts,swopt_fails\n",
+        );
+        for lock in &self.locks {
+            for g in &lock.granules {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    lock.label,
+                    g.context.replace(',', ";"),
+                    g.executions,
+                    g.attempts[0],
+                    g.successes[0],
+                    g.attempts[1],
+                    g.successes[1],
+                    g.attempts[2],
+                    g.successes[2],
+                    g.lock_held_aborts,
+                    g.conflict_aborts,
+                    g.capacity_aborts,
+                    g.spurious_aborts,
+                    g.swopt_fails,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Find a lock's report by label.
+    pub fn lock(&self, label: &str) -> Option<&LockReport> {
+        self.locks.iter().find(|l| l.label == label)
+    }
+}

@@ -1,0 +1,144 @@
+//! The uninstrumented baseline: the same chained hash table under a plain
+//! single lock, with no ALE integration at all ("Uninstrumented" in the
+//! paper's figures). Comparing it against an ALE-integrated, Lock-only run
+//! ("Instrumented") measures the library's bookkeeping overhead.
+
+use ale_sync::{RawLock, SpinLock};
+
+use crate::node::{NodeSlab, NIL};
+
+/// Plain single-lock chained hash map.
+pub struct BaselineHashMap<V: Copy + Default + Send + 'static> {
+    lock: SpinLock,
+    buckets: Vec<ale_htm::HtmCell<u64>>,
+    slab: NodeSlab<V>,
+    mask: usize,
+}
+
+impl<V: Copy + Default + Send + 'static> BaselineHashMap<V> {
+    pub fn new(buckets: usize, capacity: u64) -> Self {
+        let buckets = buckets.next_power_of_two();
+        BaselineHashMap {
+            lock: SpinLock::new(),
+            buckets: (0..buckets).map(|_| ale_htm::HtmCell::new(NIL)).collect(),
+            slab: NodeSlab::with_capacity(capacity),
+            mask: buckets - 1,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    pub fn get(&self, key: u64, ret_val: &mut V) -> bool {
+        self.lock.acquire();
+        let idx = self.bucket_of(key);
+        let mut bp = self.buckets[idx].get();
+        let mut found = false;
+        while bp != NIL {
+            let node = self.slab.node(bp);
+            if node.key.get() == key {
+                *ret_val = node.val.get();
+                found = true;
+                break;
+            }
+            bp = node.next.get();
+        }
+        self.lock.release();
+        found
+    }
+
+    pub fn insert(&self, key: u64, val: V) -> bool {
+        let new_id = self.slab.alloc(key, val);
+        self.lock.acquire();
+        let idx = self.bucket_of(key);
+        let mut bp = self.buckets[idx].get();
+        let mut inserted = true;
+        while bp != NIL {
+            let node = self.slab.node(bp);
+            if node.key.get() == key {
+                node.val.set(val);
+                inserted = false;
+                break;
+            }
+            bp = node.next.get();
+        }
+        if inserted {
+            self.slab.node(new_id).next.set(self.buckets[idx].get());
+            self.buckets[idx].set(new_id);
+        }
+        self.lock.release();
+        if !inserted {
+            self.slab.free(new_id);
+        }
+        inserted
+    }
+
+    pub fn remove(&self, key: u64) -> bool {
+        self.lock.acquire();
+        let idx = self.bucket_of(key);
+        let mut prev = NIL;
+        let mut bp = self.buckets[idx].get();
+        while bp != NIL {
+            let node = self.slab.node(bp);
+            if node.key.get() == key {
+                break;
+            }
+            prev = bp;
+            bp = node.next.get();
+        }
+        let removed = bp != NIL;
+        if removed {
+            let next = self.slab.node(bp).next.get();
+            if prev == NIL {
+                self.buckets[idx].set(next);
+            } else {
+                self.slab.node(prev).next.set(next);
+            }
+        }
+        self.lock.release();
+        if removed {
+            self.slab.free(bp);
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let m: BaselineHashMap<u64> = BaselineHashMap::new(16, 1000);
+        let mut v = 0;
+        assert!(!m.get(1, &mut v));
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(1, 11), "second insert overwrites");
+        assert!(m.get(1, &mut v));
+        assert_eq!(v, 11);
+        assert!(m.remove(1));
+        assert!(!m.remove(1));
+        assert!(!m.get(1, &mut v));
+    }
+
+    #[test]
+    fn many_keys_with_collisions() {
+        let m: BaselineHashMap<u64> = BaselineHashMap::new(4, 10_000);
+        for k in 0..500 {
+            assert!(m.insert(k, k * 2));
+        }
+        let mut v = 0;
+        for k in 0..500 {
+            assert!(m.get(k, &mut v), "key {k}");
+            assert_eq!(v, k * 2);
+        }
+        for k in (0..500).step_by(2) {
+            assert!(m.remove(k));
+        }
+        for k in 0..500 {
+            assert_eq!(m.get(k, &mut v), k % 2 == 1);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ale-hashmap — the ALE paper's running example (§3)
+//!
+//! A chained hash table protected by a single lock, integrated with the
+//! ALE library so every operation can execute in HTM, SWOpt, or Lock mode:
+//!
+//! * [`AleHashMap`] — the full §3 implementation: SWOpt `Get` (Figure 1's
+//!   `GetImp<SWOptMode>` twin paths), conflicting-region bracketing with
+//!   bump elision, the §3.3 self-abort and fine-grained (nested-CS)
+//!   variants, and optional per-bucket version numbers (the extension the
+//!   paper proposed but had "not yet experimented with").
+//! * [`BaselineHashMap`] — the uninstrumented single-lock baseline.
+//!
+//! * [`AleSortedList`] — a second structure with a very different elision
+//!   profile (O(n) traversals → real capacity pressure, long optimistic
+//!   reads, tiny conflicting regions).
+//!
+//! Keys are `u64`; values are any `Copy + Default` type of at most 16
+//! bytes (they live in [`ale_htm::HtmCell`]s).
+
+pub mod baseline;
+pub mod list;
+pub mod map;
+pub mod node;
+
+pub use baseline::BaselineHashMap;
+pub use list::AleSortedList;
+pub use map::{AleHashMap, MapConfig};
+pub use node::{Node, NodeSlab, NIL};

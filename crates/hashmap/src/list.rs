@@ -1,0 +1,281 @@
+//! An ALE-integrated sorted linked list (set semantics).
+//!
+//! A second data structure beside the paper's HashMap, with a very
+//! different elision profile: traversals are O(n), so
+//!
+//! * HTM read sets grow with the list — on capacity-limited platforms
+//!   (Rock) long lookups abort and the policy must learn to stop trying;
+//! * SWOpt reads are long, so the §3.2 validate-before-use discipline is
+//!   exercised over many steps and interference mid-traversal is common;
+//! * mutations are position-dependent (search prefix + short splice),
+//!   making the conflicting region a tiny fraction of the critical
+//!   section — the paper's §3.2 argument in its sharpest form.
+//!
+//! Structure: single lock, ascending singly-linked chain of `u64` keys,
+//! slab-allocated nodes (ids, not pointers — stale traversals stay
+//! memory-safe; see [`crate::node`]).
+
+use std::sync::Arc;
+
+use ale_core::{scope, Ale, AleLock, CsOptions, CsOutcome};
+use ale_sync::{SeqVersion, SpinLock};
+
+use crate::node::{NodeSlab, NIL};
+
+/// A sorted set of `u64` keys under one ALE-enabled lock.
+pub struct AleSortedList {
+    lock: AleLock<SpinLock>,
+    ver: SeqVersion,
+    head: ale_htm::HtmCell<u64>,
+    slab: NodeSlab<u64>,
+}
+
+impl AleSortedList {
+    /// An empty list registered with `ale` (lock label `listLock`),
+    /// holding at most `capacity` keys.
+    pub fn new(ale: &Arc<Ale>, capacity: u64) -> Self {
+        AleSortedList {
+            lock: ale.new_lock("listLock", SpinLock::new()),
+            ver: SeqVersion::new(),
+            head: ale_htm::HtmCell::new(NIL),
+            slab: NodeSlab::with_capacity(capacity),
+        }
+    }
+
+    /// Find `(prev, node)` such that `node` is the first node with
+    /// `key >= target` (either may be NIL). Caller provides protection.
+    fn locate(&self, target: u64) -> (u64, u64) {
+        let mut prev = NIL;
+        let mut cur = self.head.get();
+        while cur != NIL {
+            let node = self.slab.node(cur);
+            if node.key.get() >= target {
+                break;
+            }
+            prev = cur;
+            cur = node.next.get();
+        }
+        (prev, cur)
+    }
+
+    /// Membership test with a SWOpt path (validated traversal).
+    pub fn contains(&self, key: u64) -> bool {
+        self.lock.cs(
+            scope!("SortedList::contains"),
+            CsOptions::new().with_swopt().non_conflicting(),
+            |cs| {
+                if cs.is_swopt() {
+                    let snap = self.ver.read(true);
+                    let mut cur = self.head.get();
+                    if !self.ver.validate(snap) {
+                        return CsOutcome::SwOptFail;
+                    }
+                    while cur != NIL {
+                        let node = self.slab.node(cur);
+                        let k = node.key.get();
+                        if !self.ver.validate(snap) {
+                            return CsOutcome::SwOptFail;
+                        }
+                        if k >= key {
+                            return CsOutcome::Done(k == key);
+                        }
+                        cur = node.next.get();
+                        if !self.ver.validate(snap) {
+                            return CsOutcome::SwOptFail;
+                        }
+                    }
+                    CsOutcome::Done(false)
+                } else {
+                    let (_, cur) = self.locate(key);
+                    CsOutcome::Done(cur != NIL && self.slab.node(cur).key.get() == key)
+                }
+            },
+        )
+    }
+
+    /// Insert `key`; returns false if already present.
+    pub fn insert(&self, key: u64) -> bool {
+        // Pre-allocate outside the critical section.
+        let new_id = self.slab.alloc(key, key);
+        let inserted = self
+            .lock
+            .cs_plain(scope!("SortedList::insert"), CsOptions::new(), |_| {
+                let (prev, cur) = self.locate(key);
+                if cur != NIL && self.slab.node(cur).key.get() == key {
+                    return false;
+                }
+                // Splice in a fully-initialised node: not a conflicting action
+                // (optimistic readers see the old or the new chain).
+                self.slab.node(new_id).next.set(cur);
+                if prev == NIL {
+                    self.head.set(new_id);
+                } else {
+                    self.slab.node(prev).next.set(new_id);
+                }
+                true
+            });
+        if !inserted {
+            self.slab.free(new_id);
+        }
+        inserted
+    }
+
+    /// Remove `key`; returns whether it was present. The unlink is the
+    /// conflicting region (bracketed, with the §3.3 elision).
+    pub fn remove(&self, key: u64) -> bool {
+        let removed = self
+            .lock
+            .cs_plain(scope!("SortedList::remove"), CsOptions::new(), |cs| {
+                let (prev, cur) = self.locate(key);
+                if cur == NIL || self.slab.node(cur).key.get() != key {
+                    return None;
+                }
+                let next = self.slab.node(cur).next.get();
+                let bump = cs.could_swopt_be_running();
+                if bump {
+                    self.ver.begin_conflicting_action();
+                }
+                if prev == NIL {
+                    self.head.set(next);
+                } else {
+                    self.slab.node(prev).next.set(next);
+                }
+                if bump {
+                    self.ver.end_conflicting_action();
+                }
+                Some(cur)
+            });
+        match removed {
+            Some(id) => {
+                self.slab.free(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Length via a Lock-mode sweep (diagnostics/tests).
+    pub fn len_slow(&self) -> usize {
+        self.lock.cs_plain(
+            scope!("SortedList::len"),
+            CsOptions::new().without_htm(),
+            |_| {
+                let mut n = 0;
+                let mut cur = self.head.get();
+                while cur != NIL {
+                    n += 1;
+                    cur = self.slab.node(cur).next.get();
+                }
+                n
+            },
+        )
+    }
+
+    /// Collect the keys in order (Lock-mode; diagnostics/tests).
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.lock.cs_plain(
+            scope!("SortedList::snapshot"),
+            CsOptions::new().without_htm(),
+            |_| {
+                let mut out = Vec::new();
+                let mut cur = self.head.get();
+                while cur != NIL {
+                    let node = self.slab.node(cur);
+                    out.push(node.key.get());
+                    cur = node.next.get();
+                }
+                out
+            },
+        )
+    }
+
+    /// The ALE lock protecting the list.
+    pub fn lock(&self) -> &AleLock<SpinLock> {
+        &self.lock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_core::{AleConfig, StaticPolicy};
+    use ale_vtime::{Platform, Sim};
+
+    fn list(platform: Platform) -> (Arc<Ale>, AleSortedList) {
+        let ale = Ale::new(
+            AleConfig::new(platform).with_seed(19),
+            StaticPolicy::new(4, 12),
+        );
+        let l = AleSortedList::new(&ale, 1 << 14);
+        (ale, l)
+    }
+
+    #[test]
+    fn sorted_set_semantics() {
+        let (_ale, l) = list(Platform::testbed());
+        assert!(!l.contains(5));
+        assert!(l.insert(5));
+        assert!(!l.insert(5), "duplicate refused");
+        assert!(l.insert(1));
+        assert!(l.insert(9));
+        assert!(l.insert(7));
+        assert_eq!(l.snapshot(), vec![1, 5, 7, 9], "must stay sorted");
+        assert!(l.contains(7));
+        assert!(!l.contains(6));
+        assert!(l.remove(5));
+        assert!(!l.remove(5));
+        assert_eq!(l.snapshot(), vec![1, 7, 9]);
+        assert_eq!(l.len_slow(), 3);
+    }
+
+    #[test]
+    fn long_lists_exceed_rock_read_capacity_yet_stay_correct() {
+        // A 3000-node traversal cannot fit Rock's 2048-entry read set:
+        // every deep HTM lookup dies of capacity and falls back, but
+        // answers stay right.
+        let (ale, l) = list(Platform::rock());
+        for k in 0..3_000u64 {
+            assert!(l.insert(k * 2));
+        }
+        assert!(l.contains(5_990));
+        assert!(!l.contains(5_991));
+        let report = ale.report();
+        let lr = report.lock("listLock").unwrap();
+        let capacity: u64 = lr.granules.iter().map(|g| g.capacity_aborts).sum();
+        assert!(capacity > 0, "deep traversals must trip capacity: {report}");
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_keep_the_list_sorted() {
+        for platform in [Platform::testbed(), Platform::t2()] {
+            let (_ale, l) = list(platform.clone());
+            let l = &l;
+            for k in (0..200u64).step_by(2) {
+                l.insert(k);
+            }
+            Sim::new(platform, 6).with_seed(20).run(|lane| {
+                let mut rng = lane.rng().clone();
+                for _ in 0..200 {
+                    let k = rng.gen_range(200);
+                    match rng.gen_range(4) {
+                        0 => {
+                            l.insert(k);
+                        }
+                        1 => {
+                            l.remove(k);
+                        }
+                        _ => {
+                            std::hint::black_box(l.contains(k));
+                        }
+                    }
+                }
+            });
+            let snap = l.snapshot();
+            let mut sorted = snap.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(snap, sorted, "list must stay sorted and duplicate-free");
+            assert_eq!(l.len_slow(), snap.len());
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! The ALE-integrated HashMap (§3 of the paper).
+//!
+//! A chained hash table protected by a single lock (`tblLock`), with:
+//!
+//! * **Get** — SWOpt path generated from the same source as the pessimistic
+//!   path via a const-generic flag (the paper's `GetImp<SWOptMode>` twin
+//!   template instantiation, Figure 1), validating the version number
+//!   before using any value read since the last validation;
+//! * **Insert / Remove** — executed in HTM or Lock mode; the code that
+//!   interferes with SWOpt readers (the unlink, the value overwrite) is
+//!   bracketed with `Begin/EndConflictingAction`, and the bump is elided
+//!   when `COULD_SWOPT_BE_RUNNING` says no SWOpt reader can observe it
+//!   (§3.3);
+//! * **fine-grained variants** (`insert_fine`/`remove_fine`, §3.3) — the
+//!   search prefix runs in SWOpt mode and only the mutating suffix takes a
+//!   nested, non-SWOpt critical section, re-validating before committing
+//!   to the conflicting action;
+//! * **self-abort variant** (`remove_self_abort`, §3.3) — the whole
+//!   operation runs in SWOpt mode and *self-aborts* out of it when it
+//!   discovers it must mutate;
+//! * **per-bucket version numbers** — the paper's "concurrency could be
+//!   improved by using multiple version numbers, say one for each HashMap
+//!   bucket. We have not yet experimented with this option." We did:
+//!   configure [`MapConfig::version_stripes`] > 1 (ablation A3).
+
+use std::sync::Arc;
+
+use ale_core::{scope, Ale, AleLock, CsOptions, CsOutcome, ScopeId};
+use ale_htm::HtmCell;
+use ale_sync::{SeqVersion, SpinLock};
+
+use crate::node::{NodeSlab, NIL};
+
+/// Configuration for [`AleHashMap`].
+#[derive(Debug, Clone)]
+pub struct MapConfig {
+    /// Number of bucket chains (rounded up to a power of two).
+    pub buckets: usize,
+    /// Node capacity (live keys + in-flight allocations).
+    pub capacity: u64,
+    /// Version-number stripes: 1 = the paper's single `tblVer`; more
+    /// stripes give per-bucket(-group) versions (ablation A3).
+    pub version_stripes: usize,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        MapConfig {
+            buckets: 1024,
+            capacity: 1 << 20,
+            version_stripes: 1,
+        }
+    }
+}
+
+impl MapConfig {
+    pub fn new(buckets: usize) -> Self {
+        MapConfig {
+            buckets,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_capacity(mut self, capacity: u64) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    pub fn with_version_stripes(mut self, stripes: usize) -> Self {
+        self.version_stripes = stripes.max(1);
+        self
+    }
+}
+
+/// The paper's HashMap: one lock, chained buckets, three execution modes.
+///
+/// Values are `Copy` and at most 16 bytes (they live in
+/// [`HtmCell`]s); keys are `u64`.
+pub struct AleHashMap<V: Copy + Default + Send + 'static> {
+    lock: AleLock<SpinLock>,
+    buckets: Vec<HtmCell<u64>>,
+    vers: Vec<SeqVersion>,
+    slab: NodeSlab<V>,
+    mask: usize,
+    ver_mask: usize,
+}
+
+impl<V: Copy + Default + Send + 'static> AleHashMap<V> {
+    /// Create a map registered with `ale` under the lock label `tblLock`.
+    pub fn new(ale: &Arc<Ale>, config: MapConfig) -> Self {
+        let buckets = config.buckets.next_power_of_two();
+        let stripes = config.version_stripes.next_power_of_two().min(buckets);
+        AleHashMap {
+            lock: ale.new_lock("tblLock", SpinLock::new()),
+            buckets: (0..buckets).map(|_| HtmCell::new(NIL)).collect(),
+            vers: (0..stripes).map(|_| SeqVersion::new()).collect(),
+            slab: NodeSlab::with_capacity(config.capacity),
+            mask: buckets - 1,
+            ver_mask: stripes - 1,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        // Fibonacci hashing.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn ver_of(&self, bucket: usize) -> &SeqVersion {
+        &self.vers[bucket & self.ver_mask]
+    }
+
+    /// The paper's Figure 1: one source, two instantiations. Returns 1 if
+    /// found (value copied to `ret_val`), 0 if absent, -1 on SWOpt
+    /// interference.
+    fn get_impl<const SWOPT: bool>(&self, key: u64, ret_val: &mut V) -> i32 {
+        let idx = self.bucket_of(key);
+        let ver = self.ver_of(idx);
+        let v = if SWOPT { ver.read(true) } else { 0 };
+        let mut bp = self.buckets[idx].get();
+        if SWOPT && !ver.validate(v) {
+            return -1;
+        }
+        while bp != NIL {
+            let node = self.slab.node(bp);
+            let k = node.key.get();
+            if SWOPT && !ver.validate(v) {
+                return -1;
+            }
+            if k == key {
+                let val = node.val.get();
+                if SWOPT && !ver.validate(v) {
+                    return -1;
+                }
+                *ret_val = val;
+                return 1;
+            }
+            bp = node.next.get();
+            if SWOPT && !ver.validate(v) {
+                return -1;
+            }
+        }
+        0
+    }
+
+    /// Look up `key`, copying its value into `ret_val`. Returns whether the
+    /// key was present.
+    pub fn get(&self, key: u64, ret_val: &mut V) -> bool {
+        self.get_scoped(scope!("HashMap::get"), key, ret_val)
+    }
+
+    /// `get` under a caller-chosen scope (the `BEGIN_CS_NAMED` pattern:
+    /// distinct call sites can adapt independently).
+    pub fn get_scoped(&self, scope: &'static ScopeId, key: u64, ret_val: &mut V) -> bool {
+        self.lock.cs(
+            scope,
+            CsOptions::new().with_swopt().non_conflicting(),
+            |cs| {
+                let r = if cs.is_swopt() {
+                    self.get_impl::<true>(key, ret_val)
+                } else {
+                    self.get_impl::<false>(key, ret_val)
+                };
+                if r < 0 {
+                    CsOutcome::SwOptFail
+                } else {
+                    CsOutcome::Done(r == 1)
+                }
+            },
+        )
+    }
+
+    /// Insert `key → val`, overwriting any existing value. Returns true if
+    /// the key was newly inserted.
+    pub fn insert(&self, key: u64, val: V) -> bool {
+        // Allocate and fill the node *outside* the critical section; only
+        // the link is published inside it.
+        let new_id = self.slab.alloc(key, val);
+        let idx = self.bucket_of(key);
+        let ver = self.ver_of(idx);
+        let inserted = self
+            .lock
+            .cs_plain(scope!("HashMap::insert"), CsOptions::new(), |cs| {
+                let mut bp = self.buckets[idx].get();
+                while bp != NIL {
+                    let node = self.slab.node(bp);
+                    if node.key.get() == key {
+                        // Overwrite: this is the conflicting region — a SWOpt
+                        // reader may be about to copy this value.
+                        let bump = cs.could_swopt_be_running();
+                        if bump {
+                            ver.begin_conflicting_action();
+                        }
+                        node.val.set(val);
+                        if bump {
+                            ver.end_conflicting_action();
+                        }
+                        return false;
+                    }
+                    bp = node.next.get();
+                }
+                // Link at head. Publishing a fully-initialised node is not a
+                // conflicting action: readers see the old or the new chain.
+                self.slab.node(new_id).next.set(self.buckets[idx].get());
+                self.buckets[idx].set(new_id);
+                true
+            });
+        if !inserted {
+            self.slab.free(new_id);
+        }
+        inserted
+    }
+
+    /// Remove `key`. Returns whether it was present. This is the paper's
+    /// §3.2 example: only the unlink is bracketed as conflicting.
+    pub fn remove(&self, key: u64) -> bool {
+        let idx = self.bucket_of(key);
+        let ver = self.ver_of(idx);
+        let removed = self
+            .lock
+            .cs_plain(scope!("HashMap::remove"), CsOptions::new(), |cs| {
+                // <search a node containing the given key>
+                let mut prev = NIL;
+                let mut bp = self.buckets[idx].get();
+                while bp != NIL {
+                    let node = self.slab.node(bp);
+                    if node.key.get() == key {
+                        break;
+                    }
+                    prev = bp;
+                    bp = node.next.get();
+                }
+                if bp == NIL {
+                    return None;
+                }
+                // BeginConflictingAction(); unlink; EndConflictingAction();
+                let next = self.slab.node(bp).next.get();
+                let bump = cs.could_swopt_be_running();
+                if bump {
+                    ver.begin_conflicting_action();
+                }
+                if prev == NIL {
+                    self.buckets[idx].set(next);
+                } else {
+                    self.slab.node(prev).next.set(next);
+                }
+                if bump {
+                    ver.end_conflicting_action();
+                }
+                Some(bp)
+            });
+        match removed {
+            Some(id) => {
+                // Recycle only after the unlink committed.
+                self.slab.free(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // §3.3 advanced variants
+    // ---------------------------------------------------------------------
+
+    /// Remove with the **self-abort idiom**: run the whole operation in
+    /// SWOpt mode; when (and only when) a conflicting action turns out to
+    /// be needed, abort out of SWOpt and redo pessimistically.
+    pub fn remove_self_abort(&self, key: u64) -> bool {
+        let idx = self.bucket_of(key);
+        let ver = self.ver_of(idx);
+        let removed = self.lock.cs(
+            scope!("HashMap::remove_self_abort"),
+            CsOptions::new().with_swopt(),
+            |cs| {
+                if cs.is_swopt() {
+                    // Optimistic miss-check: absent keys need no mutation.
+                    let mut unused = V::default();
+                    return match self.get_impl::<true>(key, &mut unused) {
+                        -1 => CsOutcome::SwOptFail,
+                        0 => CsOutcome::Done(None),
+                        _ => CsOutcome::SwOptSelfAbort, // present: must mutate
+                    };
+                }
+                // Pessimistic path: identical to `remove`.
+                let mut prev = NIL;
+                let mut bp = self.buckets[idx].get();
+                while bp != NIL {
+                    let node = self.slab.node(bp);
+                    if node.key.get() == key {
+                        break;
+                    }
+                    prev = bp;
+                    bp = node.next.get();
+                }
+                if bp == NIL {
+                    return CsOutcome::Done(None);
+                }
+                let next = self.slab.node(bp).next.get();
+                let bump = cs.could_swopt_be_running();
+                if bump {
+                    ver.begin_conflicting_action();
+                }
+                if prev == NIL {
+                    self.buckets[idx].set(next);
+                } else {
+                    self.slab.node(prev).next.set(next);
+                }
+                if bump {
+                    ver.end_conflicting_action();
+                }
+                CsOutcome::Done(Some(bp))
+            },
+        );
+        match removed {
+            Some(id) => {
+                self.slab.free(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove with a **SWOpt search prefix** and a nested, non-SWOpt
+    /// critical section for the unlink (§3.3). The nested critical section
+    /// first re-validates; on interference the whole operation retries
+    /// after reporting the SWOpt failure.
+    pub fn remove_fine(&self, key: u64) -> bool {
+        let idx = self.bucket_of(key);
+        let ver = self.ver_of(idx);
+        let removed = self.lock.cs(
+            scope!("HashMap::remove_fine"),
+            CsOptions::new().with_swopt(),
+            |cs| {
+                if !cs.is_swopt() {
+                    // HTM/Lock execution: plain pessimistic removal.
+                    return CsOutcome::Done(self.remove_pessimistic(cs, idx, key));
+                }
+                // SWOpt search prefix.
+                let v = ver.read(true);
+                let mut prev = NIL;
+                let mut bp = self.buckets[idx].get();
+                if !ver.validate(v) {
+                    return CsOutcome::SwOptFail;
+                }
+                while bp != NIL {
+                    let node = self.slab.node(bp);
+                    let k = node.key.get();
+                    if !ver.validate(v) {
+                        return CsOutcome::SwOptFail;
+                    }
+                    if k == key {
+                        break;
+                    }
+                    prev = bp;
+                    bp = node.next.get();
+                    if !ver.validate(v) {
+                        return CsOutcome::SwOptFail;
+                    }
+                }
+                if bp == NIL {
+                    return CsOutcome::Done(None);
+                }
+                // Nested critical section (no SWOpt path) for the unlink.
+                let unlinked = self.lock.cs_plain(
+                    scope!("HashMap::remove_fine::unlink"),
+                    CsOptions::new(),
+                    |ics| {
+                        // "the nested critical section must first check if
+                        // a conflict has occurred" (§3.3).
+                        if !ver.validate(v) {
+                            return None;
+                        }
+                        // The version said nothing conflicting happened,
+                        // but non-conflicting inserts don't bump it: verify
+                        // the splice point is still what we found.
+                        let prev_cell = if prev == NIL {
+                            &self.buckets[idx]
+                        } else {
+                            &self.slab.node(prev).next
+                        };
+                        if prev_cell.get() != bp {
+                            return None;
+                        }
+                        let next = self.slab.node(bp).next.get();
+                        let bump = ics.could_swopt_be_running();
+                        if bump {
+                            ver.begin_conflicting_action();
+                        }
+                        prev_cell.set(next);
+                        if bump {
+                            ver.end_conflicting_action();
+                        }
+                        Some(bp)
+                    },
+                );
+                match unlinked {
+                    Some(id) => CsOutcome::Done(Some(id)),
+                    // Conflict detected inside the nested CS: report the
+                    // SWOpt failure and retry the whole operation.
+                    None => CsOutcome::SwOptFail,
+                }
+            },
+        );
+        match removed {
+            Some(id) => {
+                self.slab.free(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert with a SWOpt search prefix and a nested critical section for
+    /// the publication (§3.3's "we can provide a SWOpt path for the first
+    /// parts of these methods too").
+    pub fn insert_fine(&self, key: u64, val: V) -> bool {
+        let new_id = self.slab.alloc(key, val);
+        let idx = self.bucket_of(key);
+        let ver = self.ver_of(idx);
+        let inserted = self.lock.cs(
+            scope!("HashMap::insert_fine"),
+            CsOptions::new().with_swopt(),
+            |cs| {
+                if !cs.is_swopt() {
+                    return CsOutcome::Done(self.insert_pessimistic(cs, idx, key, val, new_id));
+                }
+                // SWOpt search prefix: find whether the key exists.
+                let v = ver.read(true);
+                let mut found = NIL;
+                let mut bp = self.buckets[idx].get();
+                if !ver.validate(v) {
+                    return CsOutcome::SwOptFail;
+                }
+                while bp != NIL {
+                    let node = self.slab.node(bp);
+                    let k = node.key.get();
+                    if !ver.validate(v) {
+                        return CsOutcome::SwOptFail;
+                    }
+                    if k == key {
+                        found = bp;
+                        break;
+                    }
+                    bp = node.next.get();
+                    if !ver.validate(v) {
+                        return CsOutcome::SwOptFail;
+                    }
+                }
+                let head = self.buckets[idx].get();
+                if !ver.validate(v) {
+                    return CsOutcome::SwOptFail;
+                }
+                // Nested CS performs the mutation.
+                let done = self.lock.cs_plain(
+                    scope!("HashMap::insert_fine::publish"),
+                    CsOptions::new(),
+                    |ics| {
+                        if !ver.validate(v) {
+                            return None;
+                        }
+                        if found != NIL {
+                            // Overwrite: check the node is still reachable
+                            // (recycling requires a version bump, which
+                            // validate caught, so key identity holds).
+                            let bump = ics.could_swopt_be_running();
+                            if bump {
+                                ver.begin_conflicting_action();
+                            }
+                            self.slab.node(found).val.set(val);
+                            if bump {
+                                ver.end_conflicting_action();
+                            }
+                            return Some(false);
+                        }
+                        // Fresh insert: the head we saw must be unchanged,
+                        // else another insert may have added our key.
+                        if self.buckets[idx].get() != head {
+                            return None;
+                        }
+                        self.slab.node(new_id).next.set(head);
+                        self.buckets[idx].set(new_id);
+                        Some(true)
+                    },
+                );
+                match done {
+                    Some(flag) => CsOutcome::Done(flag),
+                    None => CsOutcome::SwOptFail,
+                }
+            },
+        );
+        if !inserted {
+            self.slab.free(new_id);
+        }
+        inserted
+    }
+
+    fn remove_pessimistic(&self, cs: &ale_core::CsCtx<'_>, idx: usize, key: u64) -> Option<u64> {
+        let ver = self.ver_of(idx);
+        let mut prev = NIL;
+        let mut bp = self.buckets[idx].get();
+        while bp != NIL {
+            let node = self.slab.node(bp);
+            if node.key.get() == key {
+                break;
+            }
+            prev = bp;
+            bp = node.next.get();
+        }
+        if bp == NIL {
+            return None;
+        }
+        let next = self.slab.node(bp).next.get();
+        let bump = cs.could_swopt_be_running();
+        if bump {
+            ver.begin_conflicting_action();
+        }
+        if prev == NIL {
+            self.buckets[idx].set(next);
+        } else {
+            self.slab.node(prev).next.set(next);
+        }
+        if bump {
+            ver.end_conflicting_action();
+        }
+        Some(bp)
+    }
+
+    fn insert_pessimistic(
+        &self,
+        cs: &ale_core::CsCtx<'_>,
+        idx: usize,
+        key: u64,
+        val: V,
+        new_id: u64,
+    ) -> bool {
+        let ver = self.ver_of(idx);
+        let mut bp = self.buckets[idx].get();
+        while bp != NIL {
+            let node = self.slab.node(bp);
+            if node.key.get() == key {
+                let bump = cs.could_swopt_be_running();
+                if bump {
+                    ver.begin_conflicting_action();
+                }
+                node.val.set(val);
+                if bump {
+                    ver.end_conflicting_action();
+                }
+                return false;
+            }
+            bp = node.next.get();
+        }
+        self.slab.node(new_id).next.set(self.buckets[idx].get());
+        self.buckets[idx].set(new_id);
+        true
+    }
+
+    /// Key count via a Lock-mode sweep (diagnostics/tests only).
+    pub fn len_slow(&self) -> usize {
+        self.lock.cs_plain(
+            scope!("HashMap::len"),
+            CsOptions::new().without_htm(),
+            |_| {
+                let mut n = 0;
+                for b in &self.buckets {
+                    let mut bp = b.get();
+                    while bp != NIL {
+                        n += 1;
+                        bp = self.slab.node(bp).next.get();
+                    }
+                }
+                n
+            },
+        )
+    }
+
+    /// The ALE lock protecting the table (reports, baselines).
+    pub fn lock(&self) -> &AleLock<SpinLock> {
+        &self.lock
+    }
+}

@@ -1,0 +1,307 @@
+//! Correctness tests for the ALE HashMap: sequential semantics, all three
+//! execution modes, the §3.3 variants, and linearizability probes under
+//! simulated contention on every platform.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ale_core::{AdaptivePolicy, Ale, AleConfig, ExecMode, StaticPolicy};
+use ale_hashmap::{AleHashMap, MapConfig};
+use ale_vtime::{Platform, Sim};
+
+fn new_map(platform: Platform, stripes: usize) -> (Arc<Ale>, AleHashMap<u64>) {
+    let ale = Ale::new(
+        AleConfig::new(platform).with_seed(17),
+        StaticPolicy::new(4, 12),
+    );
+    let map = AleHashMap::new(&ale, MapConfig::new(256).with_version_stripes(stripes));
+    (ale, map)
+}
+
+#[test]
+fn sequential_semantics() {
+    let (_ale, map) = new_map(Platform::testbed(), 1);
+    let mut v = 0u64;
+    assert!(!map.get(5, &mut v));
+    assert!(map.insert(5, 50));
+    assert!(map.get(5, &mut v));
+    assert_eq!(v, 50);
+    assert!(!map.insert(5, 51), "overwrite returns false");
+    assert!(map.get(5, &mut v));
+    assert_eq!(v, 51);
+    assert!(map.remove(5));
+    assert!(!map.remove(5));
+    assert!(!map.get(5, &mut v));
+    assert_eq!(map.len_slow(), 0);
+}
+
+#[test]
+fn many_keys_and_collisions() {
+    let (_ale, map) = new_map(Platform::testbed(), 1);
+    for k in 0..2000u64 {
+        assert!(map.insert(k, k + 1));
+    }
+    assert_eq!(map.len_slow(), 2000);
+    let mut v = 0;
+    for k in 0..2000u64 {
+        assert!(map.get(k, &mut v));
+        assert_eq!(v, k + 1);
+    }
+    for k in (0..2000u64).step_by(3) {
+        assert!(map.remove(k));
+    }
+    for k in 0..2000u64 {
+        assert_eq!(map.get(k, &mut v), k % 3 != 0, "key {k}");
+    }
+}
+
+#[test]
+fn fine_grained_and_self_abort_variants_agree() {
+    let (_ale, map) = new_map(Platform::testbed(), 1);
+    assert!(map.insert_fine(1, 10));
+    assert!(!map.insert_fine(1, 11));
+    let mut v = 0;
+    assert!(map.get(1, &mut v));
+    assert_eq!(v, 11);
+    assert!(map.remove_fine(1));
+    assert!(!map.remove_fine(1));
+    assert!(!map.remove_self_abort(1), "absent key: pure SWOpt miss");
+    assert!(map.insert(2, 20));
+    assert!(
+        map.remove_self_abort(2),
+        "present key: self-abort then mutate"
+    );
+    assert_eq!(map.len_slow(), 0);
+}
+
+#[test]
+fn swopt_get_is_used_without_htm() {
+    let ale = Ale::new(
+        AleConfig::new(Platform::t2()).with_seed(3),
+        StaticPolicy::new(0, 16),
+    );
+    let map: AleHashMap<u64> = AleHashMap::new(&ale, MapConfig::new(64));
+    for k in 0..100 {
+        map.insert(k, k);
+    }
+    let mut v = 0;
+    for k in 0..100 {
+        assert!(map.get(k, &mut v));
+    }
+    let report = ale.report();
+    let lock = report.lock("tblLock").unwrap();
+    let get_granule = lock
+        .granules
+        .iter()
+        .find(|g| g.context.contains("HashMap::get"))
+        .expect("get granule exists");
+    assert!(
+        get_granule.successes[ExecMode::SwOpt.index()] >= 95,
+        "gets should ride SWOpt: {report}"
+    );
+}
+
+fn hammer(platform: Platform, lanes: usize, stripes: usize, seed: u64) {
+    let (_ale, map) = new_map(platform.clone(), stripes);
+    let map = &map;
+    // Pre-populate even keys of a small hot range.
+    for k in (0..200u64).step_by(2) {
+        map.insert(k, k * 10);
+    }
+    let gets_hit = AtomicU64::new(0);
+    Sim::new(platform, lanes).with_seed(seed).run(|lane| {
+        let mut rng = lane.rng().clone();
+        for _ in 0..400 {
+            let key = rng.gen_range(200);
+            match rng.gen_range(10) {
+                0..=1 => {
+                    map.insert(key, key * 10);
+                }
+                2..=3 => {
+                    map.remove(key);
+                }
+                _ => {
+                    let mut v = 0;
+                    if map.get(key, &mut v) {
+                        // The invariant: any observed value is consistent
+                        // with its key (values are never torn/mixed).
+                        assert_eq!(v, key * 10, "read a foreign value for {key}");
+                        gets_hit.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    });
+    assert!(gets_hit.load(Ordering::Relaxed) > 0, "some gets must hit");
+    // Post-mortem: the map is internally consistent.
+    let mut v = 0;
+    let mut live = 0;
+    for k in 0..200u64 {
+        if map.get(k, &mut v) {
+            assert_eq!(v, k * 10);
+            live += 1;
+        }
+    }
+    assert_eq!(map.len_slow(), live);
+}
+
+#[test]
+fn concurrent_mixed_workload_haswell() {
+    hammer(Platform::haswell(), 8, 1, 41);
+}
+
+#[test]
+fn concurrent_mixed_workload_rock() {
+    hammer(Platform::rock(), 8, 1, 42);
+}
+
+#[test]
+fn concurrent_mixed_workload_t2_no_htm() {
+    hammer(Platform::t2(), 8, 1, 43);
+}
+
+#[test]
+fn concurrent_mixed_workload_per_bucket_versions() {
+    hammer(Platform::haswell(), 8, 64, 44);
+}
+
+#[test]
+fn concurrent_fine_grained_variants() {
+    let (_ale, map) = new_map(Platform::testbed(), 1);
+    let map = &map;
+    for k in 0..100u64 {
+        map.insert(k, k * 10);
+    }
+    Sim::new(Platform::testbed(), 6).with_seed(9).run(|lane| {
+        let mut rng = lane.rng().clone();
+        for _ in 0..300 {
+            let key = rng.gen_range(150);
+            match rng.gen_range(6) {
+                0 => {
+                    map.insert_fine(key, key * 10);
+                }
+                1 => {
+                    map.remove_fine(key);
+                }
+                2 => {
+                    map.remove_self_abort(key);
+                }
+                _ => {
+                    let mut v = 0;
+                    if map.get(key, &mut v) {
+                        assert_eq!(v, key * 10);
+                    }
+                }
+            }
+        }
+    });
+    let mut v = 0;
+    let mut live = 0;
+    for k in 0..150u64 {
+        if map.get(k, &mut v) {
+            assert_eq!(v, k * 10);
+            live += 1;
+        }
+    }
+    assert_eq!(map.len_slow(), live);
+}
+
+#[test]
+fn adaptive_policy_runs_the_map() {
+    let ale = Ale::new(
+        AleConfig::new(Platform::haswell()).with_seed(23),
+        AdaptivePolicy::new(),
+    );
+    let map: AleHashMap<u64> = AleHashMap::new(&ale, MapConfig::new(256));
+    let map = &map;
+    for k in 0..500u64 {
+        map.insert(k, k);
+    }
+    Sim::new(Platform::haswell(), 8).with_seed(5).run(|lane| {
+        let mut rng = lane.rng().clone();
+        for _ in 0..1500 {
+            let key = rng.gen_range(500);
+            match rng.gen_range(100) {
+                0..=4 => {
+                    map.insert(key, key);
+                }
+                5..=9 => {
+                    map.remove(key);
+                    map.insert(key, key);
+                }
+                _ => {
+                    let mut v = 0;
+                    if map.get(key, &mut v) {
+                        assert_eq!(v, key);
+                    }
+                }
+            }
+        }
+    });
+    let report = ale.report();
+    let lock = report.lock("tblLock").unwrap();
+    assert!(
+        lock.policy.starts_with("final") || lock.policy.contains("custom"),
+        "adaptive should have (nearly) converged after 12k executions: {}",
+        lock.policy
+    );
+}
+
+#[test]
+fn report_shows_per_operation_granules() {
+    let (ale, map) = new_map(Platform::testbed(), 1);
+    map.insert(1, 1);
+    let mut v = 0;
+    map.get(1, &mut v);
+    map.remove(1);
+    let report = ale.report();
+    let text = report.to_string();
+    for ctx in ["HashMap::get", "HashMap::insert", "HashMap::remove"] {
+        assert!(text.contains(ctx), "missing granule {ctx}: {text}");
+    }
+}
+
+#[test]
+fn slab_exhaustion_panics_with_context() {
+    use ale_hashmap::NodeSlab;
+    let slab: NodeSlab<u64> = NodeSlab::with_capacity(8);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The slab rounds capacity up to one whole chunk (4096 nodes), so
+        // exhausting it takes a chunk's worth of allocations plus one.
+        for i in 0..5_000u64 {
+            slab.alloc(i, i);
+        }
+    }));
+    let payload = caught.unwrap_err();
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("slab exhausted"), "{msg}");
+}
+
+#[test]
+fn named_scopes_give_call_sites_their_own_granules() {
+    // The paper's BEGIN_CS_NAMED pattern: the same operation called from
+    // two different sites adapts (and reports) independently.
+    use ale_core::scope;
+    let (ale, map) = new_map(Platform::testbed(), 1);
+    map.insert(1, 10);
+    let mut v = 0;
+    for _ in 0..20 {
+        map.get_scoped(scope!("hot_path_lookup"), 1, &mut v);
+        map.get_scoped(scope!("cold_path_lookup"), 2, &mut v);
+    }
+    let report = ale.report();
+    let lock = report.lock("tblLock").unwrap();
+    let contexts: Vec<_> = lock.granules.iter().map(|g| g.context.as_str()).collect();
+    assert!(
+        contexts.iter().any(|c| c.contains("hot_path_lookup")),
+        "{contexts:?}"
+    );
+    assert!(
+        contexts.iter().any(|c| c.contains("cold_path_lookup")),
+        "{contexts:?}"
+    );
+}

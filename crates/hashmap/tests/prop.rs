@@ -1,0 +1,162 @@
+//! Property-based tests: the ALE HashMap against `std::collections::HashMap`
+//! under arbitrary operation scripts, across platforms, variants, and
+//! version-striping configurations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ale_core::{Ale, AleConfig, StaticPolicy};
+use ale_hashmap::{AleHashMap, MapConfig};
+use ale_vtime::Platform;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    InsertFine(u64, u64),
+    RemoveFine(u64),
+    RemoveSelfAbort(u64),
+}
+
+fn op_strategy(keys: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..keys, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0..keys).prop_map(Op::Remove),
+        4 => (0..keys).prop_map(Op::Get),
+        1 => (0..keys, any::<u64>()).prop_map(|(k, v)| Op::InsertFine(k, v)),
+        1 => (0..keys).prop_map(Op::RemoveFine),
+        1 => (0..keys).prop_map(Op::RemoveSelfAbort),
+    ]
+}
+
+fn check_script(
+    platform: Platform,
+    x: u32,
+    y: u32,
+    stripes: usize,
+    script: &[Op],
+) -> Result<(), TestCaseError> {
+    let ale: Arc<Ale> = Ale::new(
+        AleConfig::new(platform).with_seed(5),
+        StaticPolicy::new(x, y),
+    );
+    let map: AleHashMap<u64> =
+        AleHashMap::new(&ale, MapConfig::new(32).with_version_stripes(stripes));
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for op in script {
+        match *op {
+            Op::Insert(k, v) => {
+                prop_assert_eq!(map.insert(k, v), !model.contains_key(&k));
+                model.insert(k, v);
+            }
+            Op::InsertFine(k, v) => {
+                prop_assert_eq!(map.insert_fine(k, v), !model.contains_key(&k));
+                model.insert(k, v);
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(map.remove(k), model.remove(&k).is_some());
+            }
+            Op::RemoveFine(k) => {
+                prop_assert_eq!(map.remove_fine(k), model.remove(&k).is_some());
+            }
+            Op::RemoveSelfAbort(k) => {
+                prop_assert_eq!(map.remove_self_abort(k), model.remove(&k).is_some());
+            }
+            Op::Get(k) => {
+                let mut v = 0;
+                let found = map.get(k, &mut v);
+                prop_assert_eq!(found, model.contains_key(&k));
+                if found {
+                    prop_assert_eq!(&v, &model[&k]);
+                }
+            }
+        }
+    }
+    prop_assert_eq!(map.len_slow(), model.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// HTM-first execution matches the reference model.
+    #[test]
+    fn matches_model_htm(script in proptest::collection::vec(op_strategy(32), 0..120)) {
+        check_script(Platform::testbed(), 4, 0, 1, &script)?;
+    }
+
+    /// SWOpt-first execution (no HTM platform) matches the reference model.
+    #[test]
+    fn matches_model_swopt(script in proptest::collection::vec(op_strategy(32), 0..120)) {
+        check_script(Platform::t2(), 0, 8, 1, &script)?;
+    }
+
+    /// Rock's flaky HTM (spurious aborts, tiny write sets) still yields
+    /// correct results — failures must be invisible.
+    #[test]
+    fn matches_model_rock(script in proptest::collection::vec(op_strategy(32), 0..120)) {
+        check_script(Platform::rock(), 3, 6, 1, &script)?;
+    }
+
+    /// Per-bucket version stripes preserve semantics.
+    #[test]
+    fn matches_model_striped(
+        script in proptest::collection::vec(op_strategy(32), 0..120),
+        stripes in 1usize..64,
+    ) {
+        check_script(Platform::testbed(), 4, 8, stripes, &script)?;
+    }
+}
+
+mod list_props {
+    use std::collections::BTreeSet;
+
+    use ale_core::{Ale, AleConfig, StaticPolicy};
+    use ale_hashmap::AleSortedList;
+    use ale_vtime::Platform;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum LOp {
+        Insert(u64),
+        Remove(u64),
+        Contains(u64),
+    }
+
+    fn lop(keys: u64) -> impl Strategy<Value = LOp> {
+        prop_oneof![
+            3 => (0..keys).prop_map(LOp::Insert),
+            2 => (0..keys).prop_map(LOp::Remove),
+            3 => (0..keys).prop_map(LOp::Contains),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The sorted list matches BTreeSet under arbitrary scripts, on an
+        /// HTM platform and on a SWOpt-only platform.
+        #[test]
+        fn list_matches_btreeset(
+            script in proptest::collection::vec(lop(64), 0..120),
+            htm in any::<bool>(),
+        ) {
+            let platform = if htm { Platform::testbed() } else { Platform::t2() };
+            let ale = Ale::new(AleConfig::new(platform).with_seed(6), StaticPolicy::new(4, 8));
+            let list = AleSortedList::new(&ale, 4096);
+            let mut model = BTreeSet::new();
+            for op in &script {
+                match *op {
+                    LOp::Insert(k) => prop_assert_eq!(list.insert(k), model.insert(k)),
+                    LOp::Remove(k) => prop_assert_eq!(list.remove(k), model.remove(&k)),
+                    LOp::Contains(k) => prop_assert_eq!(list.contains(k), model.contains(&k)),
+                }
+            }
+            let snap = list.snapshot();
+            let want: Vec<u64> = model.iter().copied().collect();
+            prop_assert_eq!(snap, want, "final contents must match, in order");
+        }
+    }
+}

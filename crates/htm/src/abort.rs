@@ -1,0 +1,108 @@
+//! Abort status codes, mirroring the information real best-effort HTMs
+//! report (Intel RTM's EAX status word, Rock's CPS register).
+//!
+//! The ALE library's policies consume two things from a failed transaction:
+//! the *reason class* (so lock-held aborts can be accounted "in a much
+//! lighter way than others", §4) and a *retry hint* (whether the hardware
+//! believes retrying could succeed — capacity aborts will not, conflicts
+//! may).
+
+/// Why a hardware transaction aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCode {
+    /// A data conflict with another transaction or a non-transactional
+    /// write (including a lock acquisition on a subscribed lock word).
+    Conflict,
+    /// The read or write set exceeded the platform's capacity.
+    Capacity,
+    /// The transaction body requested an abort (`xabort`-style), carrying a
+    /// user code. ALE uses this for "lock was held at subscription time"
+    /// and for the SWOpt self-abort idiom.
+    Explicit(u8),
+    /// A micro-architectural event unrelated to the program (interrupt,
+    /// TLB miss, unfriendly instruction…).
+    Spurious,
+}
+
+impl AbortCode {
+    /// The conventional explicit code TLE uses when the elided lock was
+    /// held at subscription time.
+    pub const LOCK_HELD: u8 = 0xFF;
+
+    /// Explicit code for "this operation cannot run transactionally"
+    /// (e.g. taking an internal data mutex — the analogue of real HTM
+    /// aborting on unfriendly instructions/syscalls/malloc). Retrying in a
+    /// transaction is pointless; fall back to another mode.
+    pub const TX_UNFRIENDLY: u8 = 0xFD;
+
+    /// True if this is the explicit lock-held abort.
+    pub fn is_lock_held(self) -> bool {
+        matches!(self, AbortCode::Explicit(Self::LOCK_HELD))
+    }
+}
+
+/// Full abort status: code plus the hardware's retry hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortStatus {
+    pub code: AbortCode,
+    /// Whether the status word suggests an immediate retry might succeed.
+    /// (On Intel this is the `_XABORT_RETRY` bit; Rock's status register
+    /// was far less informative, which `HtmProfile::spurious_retry_hint`
+    /// models.)
+    pub may_retry: bool,
+}
+
+impl AbortStatus {
+    pub fn conflict() -> Self {
+        AbortStatus {
+            code: AbortCode::Conflict,
+            may_retry: true,
+        }
+    }
+
+    pub fn capacity() -> Self {
+        AbortStatus {
+            code: AbortCode::Capacity,
+            may_retry: false,
+        }
+    }
+
+    pub fn explicit(user_code: u8) -> Self {
+        // Explicit aborts are deliberate; retrying blindly is pointless —
+        // the caller decides what the code means.
+        AbortStatus {
+            code: AbortCode::Explicit(user_code),
+            may_retry: false,
+        }
+    }
+
+    pub fn lock_held() -> Self {
+        Self::explicit(AbortCode::LOCK_HELD)
+    }
+
+    pub fn spurious(retry_hint: bool) -> Self {
+        AbortStatus {
+            code: AbortCode::Spurious,
+            may_retry: retry_hint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        assert_eq!(AbortStatus::conflict().code, AbortCode::Conflict);
+        assert!(AbortStatus::conflict().may_retry);
+        assert_eq!(AbortStatus::capacity().code, AbortCode::Capacity);
+        assert!(!AbortStatus::capacity().may_retry);
+        assert_eq!(AbortStatus::explicit(3).code, AbortCode::Explicit(3));
+        assert!(AbortStatus::lock_held().code.is_lock_held());
+        assert!(!AbortCode::Conflict.is_lock_held());
+        assert!(!AbortCode::Explicit(1).is_lock_held());
+        assert!(AbortStatus::spurious(true).may_retry);
+        assert!(!AbortStatus::spurious(false).may_retry);
+    }
+}

@@ -1,0 +1,103 @@
+//! The best-effort failure model layered over the TL2 engine.
+//!
+//! Real HTMs are *best effort*: they may abort for reasons unrelated to
+//! data conflicts — capacity overflow, TLB misses, interrupts, unfriendly
+//! instructions. The ALE policies' whole job is coping with this, so the
+//! emulation reproduces it faithfully and *deterministically*: capacity
+//! limits are exact set-size checks and "spurious" events are drawn from a
+//! seeded per-transaction random stream, so a simulation replays
+//! identically.
+
+use ale_vtime::{HtmProfile, Rng};
+
+/// Per-transaction failure state: the platform's HTM profile plus a
+/// deterministic random stream for spurious events.
+#[derive(Debug)]
+pub struct FailureModel {
+    profile: HtmProfile,
+    rng: Rng,
+}
+
+impl FailureModel {
+    pub fn new(profile: HtmProfile, rng: Rng) -> Self {
+        FailureModel { profile, rng }
+    }
+
+    /// Should this transaction abort spuriously right at begin?
+    pub fn txn_spurious(&mut self) -> bool {
+        self.profile.spurious_abort_per_txn > 0.0
+            && self.rng.gen_bool(self.profile.spurious_abort_per_txn)
+    }
+
+    /// Should this transactional access abort spuriously?
+    pub fn access_spurious(&mut self) -> bool {
+        self.profile.spurious_abort_per_access > 0.0
+            && self.rng.gen_bool(self.profile.spurious_abort_per_access)
+    }
+
+    /// Does a spurious abort on this platform hint that a retry may help?
+    pub fn spurious_retry_hint(&self) -> bool {
+        self.profile.spurious_retry_hint
+    }
+
+    /// Has the read set outgrown the platform?
+    pub fn read_capacity_exceeded(&self, distinct_reads: usize) -> bool {
+        distinct_reads > self.profile.max_read_set
+    }
+
+    /// Has the write set outgrown the platform?
+    pub fn write_capacity_exceeded(&self, distinct_writes: usize) -> bool {
+        distinct_writes > self.profile.max_write_set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_vtime::Platform;
+
+    fn model(p: fn() -> Platform) -> FailureModel {
+        FailureModel::new(p().htm.expect("platform has HTM"), Rng::new(7))
+    }
+
+    #[test]
+    fn testbed_never_fails_spuriously() {
+        let mut m = model(Platform::testbed);
+        for _ in 0..10_000 {
+            assert!(!m.txn_spurious());
+            assert!(!m.access_spurious());
+        }
+        assert!(!m.read_capacity_exceeded(1 << 16));
+        assert!(m.read_capacity_exceeded((1 << 16) + 1));
+    }
+
+    #[test]
+    fn rock_fails_more_than_haswell() {
+        let mut rock = model(Platform::rock);
+        let mut haswell = model(Platform::haswell);
+        let rock_fails = (0..20_000).filter(|_| rock.txn_spurious()).count();
+        let haswell_fails = (0..20_000).filter(|_| haswell.txn_spurious()).count();
+        assert!(
+            rock_fails > haswell_fails * 2,
+            "rock {rock_fails} vs haswell {haswell_fails}"
+        );
+    }
+
+    #[test]
+    fn capacity_checks_match_profile() {
+        let m = model(Platform::rock);
+        assert!(!m.write_capacity_exceeded(32));
+        assert!(m.write_capacity_exceeded(33));
+        assert!(!m.read_capacity_exceeded(2048));
+        assert!(m.read_capacity_exceeded(2049));
+    }
+
+    #[test]
+    fn spurious_streams_are_deterministic() {
+        let mut a = model(Platform::rock);
+        let mut b = model(Platform::rock);
+        let va: Vec<bool> = (0..1000).map(|_| a.txn_spurious()).collect();
+        let vb: Vec<bool> = (0..1000).map(|_| b.txn_spurious()).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,402 @@
+//! Transactionally-accessible memory cells.
+//!
+//! Real HTM tracks raw loads and stores through the cache-coherence
+//! protocol; a software emulation needs an instrumentation point instead.
+//! An [`HtmCell`] is one word of "transactional memory": inside a
+//! transaction its `get`/`set` are tracked (TL2-style) and buffered;
+//! outside a transaction they are *seqlock-consistent* plain accesses —
+//! a reader never observes a torn or in-flight value, and every
+//! non-transactional store advances the cell's version so concurrent
+//! transactions that read the cell abort. That last property is exactly
+//! what makes Transactional Lock Elision sound: the elided lock stores its
+//! state in an `HtmCell`, a transaction "subscribes" by reading it, and a
+//! Lock-mode acquisition invalidates all subscribed transactions.
+//!
+//! Cells hold any `Copy` type up to [`MAX_CELL_SIZE`] bytes. The
+//! value-plus-version layout follows crossbeam's seqlock technique
+//! (volatile value access bracketed by version checks).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use ale_vtime::{tick, Event};
+
+use crate::txn;
+
+/// Maximum payload size of an [`HtmCell`] in bytes.
+pub const MAX_CELL_SIZE: usize = 16;
+
+/// Low bit of the meta word: set while a writer (transactional committer or
+/// plain store) owns the cell.
+pub(crate) const LOCKED: u64 = 1;
+
+/// Version number carried by a meta word.
+#[inline]
+pub(crate) fn ver_of(meta: u64) -> u64 {
+    meta >> 1
+}
+
+#[inline]
+pub(crate) fn is_locked(meta: u64) -> bool {
+    meta & LOCKED != 0
+}
+
+/// The TL2 global version clock. Plain stores and transaction commits
+/// advance it; transactions snapshot it at begin and treat any version
+/// newer than the snapshot as a conflict.
+pub(crate) static GLOBAL_VCLOCK: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the global version clock (exposed for tests/stats).
+pub fn global_version() -> u64 {
+    GLOBAL_VCLOCK.load(Ordering::Acquire)
+}
+
+/// One word of transactional memory. See the module docs.
+///
+/// ```
+/// use ale_htm::HtmCell;
+/// let c = HtmCell::new(5u64);
+/// assert_eq!(c.get(), 5);             // plain consistent read (no txn)
+/// c.set(6);                           // plain versioned store
+/// assert_eq!(c.compare_exchange(6, 7), Ok(6));
+/// assert_eq!(c.get(), 7);
+/// ```
+#[repr(C)]
+pub struct HtmCell<T: Copy> {
+    meta: AtomicU64,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: all concurrent access to `value` is mediated by the seqlock
+// protocol on `meta` (plain accesses) or the TL2 protocol (transactional
+// accesses); `T: Copy` rules out drop hazards, `T: Send` lets values move
+// between threads.
+unsafe impl<T: Copy + Send> Send for HtmCell<T> {}
+unsafe impl<T: Copy + Send> Sync for HtmCell<T> {}
+
+impl<T: Copy> HtmCell<T> {
+    /// Create a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        const {
+            assert!(
+                std::mem::size_of::<T>() <= MAX_CELL_SIZE,
+                "HtmCell payload exceeds MAX_CELL_SIZE"
+            );
+        }
+        HtmCell {
+            meta: AtomicU64::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Read the cell. Transactional when called inside [`attempt`]
+    /// (tracked in the read set, opaque — aborts rather than observing an
+    /// inconsistent value); otherwise a seqlock-consistent plain read.
+    ///
+    /// [`attempt`]: crate::attempt
+    #[inline]
+    pub fn get(&self) -> T {
+        if txn::in_txn() {
+            txn::tx_read(self)
+        } else {
+            self.load_consistent()
+        }
+    }
+
+    /// Write the cell. Transactional (buffered until commit) inside a
+    /// transaction; otherwise a version-advancing plain store.
+    #[inline]
+    pub fn set(&self, value: T) {
+        if txn::in_txn() {
+            txn::tx_write(self, value);
+        } else {
+            self.plain_store(value);
+        }
+    }
+
+    /// Seqlock-consistent read that is never transactional, even inside a
+    /// transaction. Used by statistics and debugging paths that must not
+    /// grow the read set.
+    pub fn load_consistent(&self) -> T {
+        loop {
+            let m1 = self.meta.load(Ordering::Acquire);
+            if is_locked(m1) {
+                tick(Event::SharedLoad);
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: racing reads are resolved by the version re-check:
+            // a value observed while m1 == m2 and unlocked was stable for
+            // the whole read (crossbeam seqlock technique).
+            let v = unsafe { std::ptr::read_volatile(self.value.get()) };
+            fence(Ordering::Acquire);
+            let m2 = self.meta.load(Ordering::Relaxed);
+            if m1 == m2 {
+                tick(Event::SharedLoad);
+                return v;
+            }
+            tick(Event::SharedLoad);
+        }
+    }
+
+    /// Non-transactional store: lock the cell, write, release with a fresh
+    /// global version (invalidating concurrent transactional readers).
+    pub(crate) fn plain_store(&self, value: T) {
+        let mut spins = 0u32;
+        loop {
+            let m = self.meta.load(Ordering::Relaxed);
+            if !is_locked(m)
+                && self
+                    .meta
+                    .compare_exchange_weak(m, m | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            tick(Event::Cas);
+            if spins > 6 {
+                tick(Event::Backoff(spins.min(16)));
+            }
+            spins += 1;
+            std::hint::spin_loop();
+        }
+        // SAFETY: we hold the cell lock; seqlock readers retry while locked.
+        unsafe { std::ptr::write_volatile(self.value.get(), value) };
+        let wv = GLOBAL_VCLOCK.fetch_add(1, Ordering::Relaxed) + 1;
+        self.meta.store(wv << 1, Ordering::Release);
+        tick(Event::SharedStore);
+    }
+
+    /// Atomic compare-exchange on the cell value. Succeeds (storing `new`
+    /// and returning `Ok(current)`) iff the cell holds `current`.
+    ///
+    /// Outside a transaction this is a real lock-free-style RMW on the cell
+    /// (meta word briefly locked). Inside a transaction it is the natural
+    /// transactional read-test-write, tracked like any other access. Locks
+    /// built over `HtmCell` use this so that transactions subscribing to the
+    /// lock word observe acquisitions, which is the TLE correctness
+    /// requirement.
+    pub fn compare_exchange(&self, current: T, new: T) -> Result<T, T>
+    where
+        T: PartialEq,
+    {
+        if txn::in_txn() {
+            let seen = txn::tx_read(self);
+            return if seen == current {
+                txn::tx_write(self, new);
+                Ok(seen)
+            } else {
+                Err(seen)
+            };
+        }
+        let mut spins = 0u32;
+        loop {
+            let m = self.meta.load(Ordering::Relaxed);
+            if !is_locked(m)
+                && self
+                    .meta
+                    .compare_exchange_weak(m, m | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                tick(Event::Cas);
+                // SAFETY: we hold the cell lock.
+                let seen = unsafe { std::ptr::read_volatile(self.value.get()) };
+                if seen == current {
+                    unsafe { std::ptr::write_volatile(self.value.get(), new) };
+                    let wv = GLOBAL_VCLOCK.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.meta.store(wv << 1, Ordering::Release);
+                    return Ok(seen);
+                }
+                // No write happened: restore the original meta so
+                // subscribed transactions are not invalidated needlessly.
+                self.meta.store(m, Ordering::Release);
+                return Err(seen);
+            }
+            tick(Event::Cas);
+            if spins > 6 {
+                tick(Event::Backoff(spins.min(16)));
+            }
+            spins += 1;
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Exclusive read through `&mut` (no synchronisation needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+
+    /// Consume the cell, returning its value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    // --- raw accessors for the transaction engine -------------------------
+
+    #[inline]
+    pub(crate) fn meta_word(&self) -> &AtomicU64 {
+        &self.meta
+    }
+
+    #[inline]
+    pub(crate) fn value_ptr(&self) -> *mut T {
+        self.value.get()
+    }
+}
+
+impl<T: Copy + Default> Default for HtmCell<T> {
+    fn default() -> Self {
+        HtmCell::new(T::default())
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for HtmCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HtmCell")
+            .field("value", &self.load_consistent())
+            .field("version", &ver_of(self.meta.load(Ordering::Relaxed)))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_get_set_roundtrip() {
+        let c = HtmCell::new(41u64);
+        assert_eq!(c.get(), 41);
+        c.set(42);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.load_consistent(), 42);
+    }
+
+    #[test]
+    fn stores_advance_the_version() {
+        let c = HtmCell::new(0u32);
+        let v0 = ver_of(c.meta.load(Ordering::Relaxed));
+        c.set(1);
+        c.set(2);
+        let v2 = ver_of(c.meta.load(Ordering::Relaxed));
+        assert!(
+            v2 > v0,
+            "two stores must advance the version ({v0} -> {v2})"
+        );
+        assert!(!is_locked(c.meta.load(Ordering::Relaxed)));
+    }
+
+    #[test]
+    fn wide_payloads_work() {
+        let c = HtmCell::new([1u8; 16]);
+        c.set([7u8; 16]);
+        assert_eq!(c.get(), [7u8; 16]);
+        let c2 = HtmCell::new((1u64, 2u64));
+        c2.set((3, 4));
+        assert_eq!(c2.get(), (3, 4));
+    }
+
+    #[test]
+    fn get_mut_and_into_inner() {
+        let mut c = HtmCell::new(5i32);
+        *c.get_mut() = 9;
+        assert_eq!(c.into_inner(), 9);
+    }
+
+    #[test]
+    fn default_and_debug() {
+        let c: HtmCell<u64> = HtmCell::default();
+        assert_eq!(c.get(), 0);
+        let s = format!("{c:?}");
+        assert!(s.contains("HtmCell"), "{s}");
+    }
+
+    #[test]
+    fn compare_exchange_inside_transaction_is_buffered() {
+        use crate::txn::attempt;
+        use ale_vtime::{Platform, Rng};
+        let c = HtmCell::new(1u64);
+        let p = Platform::testbed().htm.unwrap();
+        let mut rng = Rng::new(3);
+        // Failed tx-CAS, then aborted tx-CAS, then committed tx-CAS.
+        let r = attempt(&p, &mut rng, || c.compare_exchange(7, 8));
+        assert_eq!(r.unwrap(), Err(1));
+        let r: Result<(), _> = attempt(&p, &mut rng, || {
+            c.compare_exchange(1, 2).unwrap();
+            crate::txn::explicit_abort(1);
+        });
+        assert!(r.is_err());
+        assert_eq!(c.get(), 1, "aborted tx-CAS must not publish");
+        let r = attempt(&p, &mut rng, || c.compare_exchange(1, 2));
+        assert_eq!(r.unwrap(), Ok(1));
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn compare_exchange_semantics() {
+        let c = HtmCell::new(5u64);
+        assert_eq!(c.compare_exchange(4, 9), Err(5));
+        assert_eq!(c.get(), 5, "failed CAS must not write");
+        assert_eq!(c.compare_exchange(5, 9), Ok(5));
+        assert_eq!(c.get(), 9);
+    }
+
+    #[test]
+    fn failed_compare_exchange_keeps_version() {
+        let c = HtmCell::new(1u32);
+        let before = c.meta.load(Ordering::Relaxed);
+        assert!(c.compare_exchange(2, 3).is_err());
+        assert_eq!(
+            c.meta.load(Ordering::Relaxed),
+            before,
+            "failed CAS must not advance the version (no needless tx invalidation)"
+        );
+    }
+
+    #[test]
+    fn concurrent_cas_counter_loses_nothing() {
+        let c = HtmCell::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..5000 {
+                        loop {
+                            let v = c.get();
+                            if c.compare_exchange(v, v + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 20_000);
+    }
+
+    #[test]
+    fn concurrent_plain_stores_are_not_torn() {
+        // Writers store (x, x); readers must never see (a, b) with a != b.
+        let cell = HtmCell::new((0u64, 0u64));
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let cell = &cell;
+                s.spawn(move || {
+                    for i in 0..20_000u64 {
+                        let x = w * 1_000_000 + i;
+                        cell.set((x, x));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let cell = &cell;
+                s.spawn(move || {
+                    for _ in 0..40_000 {
+                        let (a, b) = cell.get();
+                        assert_eq!(a, b, "torn read: ({a}, {b})");
+                    }
+                });
+            }
+        });
+    }
+}

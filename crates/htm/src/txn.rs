@@ -1,0 +1,636 @@
+//! The transaction engine: TL2-style lazy versioning with a global version
+//! clock, plus the best-effort failure model.
+//!
+//! One [`attempt`] is one hardware transaction:
+//!
+//! 1. **Begin** — snapshot the global version clock (`rv`); maybe abort
+//!    spuriously (per-transaction probability).
+//! 2. **Body** — [`HtmCell::get`](crate::HtmCell::get) validates each read
+//!    against `rv` (opacity: an inconsistent view is impossible — the
+//!    transaction aborts instead); `set` buffers into the write set.
+//!    Capacity and per-access spurious aborts are checked here.
+//! 3. **Commit** — lock the write-set cells (bounded spin, else conflict
+//!    abort), validate the read set, advance the global clock, publish the
+//!    buffered writes, release with the new version.
+//!
+//! Aborts unwind with a private payload caught in [`attempt`] — control
+//! never returns into the body, matching real HTM. A process-wide panic
+//! hook silences these control-flow unwinds (they are not errors).
+//!
+//! Nested [`attempt`]s are *flattened* into the enclosing transaction,
+//! which is also what the ALE library expects of HTM (§4.1 of the paper).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Once;
+
+use ale_vtime::{tick, tick_n, Event, HtmProfile, Rng};
+
+use crate::abort::AbortStatus;
+use crate::besteffort::FailureModel;
+use crate::cell::{is_locked, ver_of, HtmCell, GLOBAL_VCLOCK, LOCKED, MAX_CELL_SIZE};
+
+/// How long a committer spins on a locked write-set cell before declaring a
+/// conflict. Small: commit-time locks are held only for the publish phase.
+const COMMIT_SPIN_LIMIT: u32 = 64;
+
+/// Sliding window scanned to suppress duplicate read-set entries.
+const READ_DEDUP_WINDOW: usize = 8;
+
+struct WriteEntry {
+    meta: *const AtomicU64,
+    value_ptr: *mut u8,
+    size: usize,
+    buf: [u8; MAX_CELL_SIZE],
+}
+
+struct TxState {
+    rv: u64,
+    reads: Vec<*const AtomicU64>,
+    writes: Vec<WriteEntry>,
+    fm: FailureModel,
+}
+
+thread_local! {
+    static TX: RefCell<Option<TxState>> = const { RefCell::new(None) };
+    /// Recycled set buffers so repeated attempts don't allocate.
+    static SCRATCH: RefCell<(Vec<*const AtomicU64>, Vec<WriteEntry>)> =
+        RefCell::new((Vec::with_capacity(64), Vec::with_capacity(16)));
+}
+
+/// Unwind payload used for abort control flow. Private: user code cannot
+/// catch it by type, and [`attempt`] re-raises anything else.
+struct TxAbortUnwind(AbortStatus);
+
+fn do_abort(status: AbortStatus) -> ! {
+    std::panic::panic_any(TxAbortUnwind(status))
+}
+
+/// Install (once) a panic hook that keeps abort unwinds silent.
+fn init_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<TxAbortUnwind>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// True while the calling thread is inside a transaction.
+#[inline]
+pub fn in_txn() -> bool {
+    TX.with(|t| t.borrow().is_some())
+}
+
+/// Number of entries currently in the read set (0 outside a transaction).
+pub fn read_set_len() -> usize {
+    TX.with(|t| t.borrow().as_ref().map_or(0, |tx| tx.reads.len()))
+}
+
+/// Number of entries currently in the write set (0 outside a transaction).
+pub fn write_set_len() -> usize {
+    TX.with(|t| t.borrow().as_ref().map_or(0, |tx| tx.writes.len()))
+}
+
+/// Explicitly abort the enclosing transaction with a user code
+/// (the `xabort imm8` analogue). Panics if no transaction is active.
+pub fn explicit_abort(code: u8) -> ! {
+    assert!(in_txn(), "explicit_abort called outside a transaction");
+    do_abort(AbortStatus::explicit(code))
+}
+
+/// Run `body` as one best-effort hardware transaction.
+///
+/// Returns `Ok(body's value)` on commit, or the [`AbortStatus`] on abort.
+/// On abort no effect of `body` is visible (writes were buffered). The
+/// caller decides whether and how to retry — that is the ALE policy's job.
+///
+/// `rng` drives the deterministic spurious-failure stream. If a
+/// transaction is already active the call is flattened into it.
+pub fn attempt<R>(
+    profile: &HtmProfile,
+    rng: &mut Rng,
+    body: impl FnOnce() -> R,
+) -> Result<R, AbortStatus> {
+    if in_txn() {
+        // Flat nesting: run inside the enclosing transaction.
+        return Ok(body());
+    }
+    init_hook();
+    tick(Event::HtmBegin);
+
+    let mut fm = FailureModel::new(profile.clone(), rng.fork(0x7854_6E67));
+    if fm.txn_spurious() {
+        tick(Event::HtmAbort);
+        return Err(AbortStatus::spurious(fm.spurious_retry_hint()));
+    }
+
+    let (reads, writes) = SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        (std::mem::take(&mut s.0), std::mem::take(&mut s.1))
+    });
+    let rv = GLOBAL_VCLOCK.load(Ordering::Acquire);
+    TX.with(|t| {
+        *t.borrow_mut() = Some(TxState {
+            rv,
+            reads,
+            writes,
+            fm,
+        });
+    });
+
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    let st = TX
+        .with(|t| t.borrow_mut().take())
+        .expect("transaction state vanished");
+
+    let result = match outcome {
+        Ok(value) => match commit(&st) {
+            Ok(()) => {
+                tick(Event::HtmCommit);
+                Ok(value)
+            }
+            Err(status) => {
+                tick(Event::HtmAbort);
+                Err(status)
+            }
+        },
+        Err(payload) => {
+            tick(Event::HtmAbort);
+            match payload.downcast::<TxAbortUnwind>() {
+                Ok(ab) => Err(ab.0),
+                Err(other) => {
+                    recycle(st);
+                    resume_unwind(other)
+                }
+            }
+        }
+    };
+    recycle(st);
+    result
+}
+
+fn recycle(mut st: TxState) {
+    st.reads.clear();
+    st.writes.clear();
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.0.capacity() < st.reads.capacity() {
+            s.0 = st.reads;
+        }
+        if s.1.capacity() < st.writes.capacity() {
+            s.1 = st.writes;
+        }
+    });
+}
+
+/// Transactional read of `cell` (called from `HtmCell::get`).
+pub(crate) fn tx_read<T: Copy>(cell: &HtmCell<T>) -> T {
+    tick(Event::SharedLoad);
+    TX.with(|slot| {
+        let mut borrow = slot.borrow_mut();
+        let tx = borrow.as_mut().expect("tx_read outside transaction");
+
+        // Read-after-write: return the buffered value.
+        let vp = cell.value_ptr() as *mut u8;
+        if let Some(w) = tx.writes.iter().find(|w| w.value_ptr == vp) {
+            // SAFETY: buf holds a valid T written by tx_write for this cell.
+            return unsafe { std::ptr::read_unaligned(w.buf.as_ptr() as *const T) };
+        }
+
+        if tx.fm.access_spurious() {
+            let hint = tx.fm.spurious_retry_hint();
+            do_abort(AbortStatus::spurious(hint));
+        }
+
+        let meta = cell.meta_word();
+        let m1 = meta.load(Ordering::Acquire);
+        if is_locked(m1) || ver_of(m1) > tx.rv {
+            do_abort(AbortStatus::conflict());
+        }
+        // SAFETY: value race resolved by the version re-check below.
+        let v = unsafe { std::ptr::read_volatile(cell.value_ptr()) };
+        fence(Ordering::Acquire);
+        let m2 = meta.load(Ordering::Relaxed);
+        if m1 != m2 {
+            do_abort(AbortStatus::conflict());
+        }
+
+        let mp = meta as *const AtomicU64;
+        let start = tx.reads.len().saturating_sub(READ_DEDUP_WINDOW);
+        if !tx.reads[start..].contains(&mp) {
+            tx.reads.push(mp);
+            if tx.fm.read_capacity_exceeded(tx.reads.len()) {
+                do_abort(AbortStatus::capacity());
+            }
+        }
+        v
+    })
+}
+
+/// Transactional (buffered) write of `cell` (called from `HtmCell::set`).
+pub(crate) fn tx_write<T: Copy>(cell: &HtmCell<T>, value: T) {
+    tick(Event::SharedStore);
+    TX.with(|slot| {
+        let mut borrow = slot.borrow_mut();
+        let tx = borrow.as_mut().expect("tx_write outside transaction");
+
+        if tx.fm.access_spurious() {
+            let hint = tx.fm.spurious_retry_hint();
+            do_abort(AbortStatus::spurious(hint));
+        }
+
+        let size = std::mem::size_of::<T>();
+        let mut buf = [0u8; MAX_CELL_SIZE];
+        // SAFETY: size_of::<T>() <= MAX_CELL_SIZE (enforced by HtmCell::new).
+        unsafe {
+            std::ptr::copy_nonoverlapping(&value as *const T as *const u8, buf.as_mut_ptr(), size);
+        }
+
+        let vp = cell.value_ptr() as *mut u8;
+        if let Some(w) = tx.writes.iter_mut().find(|w| w.value_ptr == vp) {
+            w.buf = buf;
+            return;
+        }
+
+        // Eager conflict check: writing a cell someone else already
+        // published to (or holds locked) cannot commit against our rv if we
+        // also read it; even for blind writes, bailing early is cheaper.
+        let meta = cell.meta_word();
+        let m = meta.load(Ordering::Acquire);
+        if is_locked(m) {
+            do_abort(AbortStatus::conflict());
+        }
+
+        tx.writes.push(WriteEntry {
+            meta: meta as *const AtomicU64,
+            value_ptr: vp,
+            size,
+            buf,
+        });
+        if tx.fm.write_capacity_exceeded(tx.writes.len()) {
+            do_abort(AbortStatus::capacity());
+        }
+    });
+}
+
+/// Commit: lock write cells, validate reads, publish, release.
+fn commit(st: &TxState) -> Result<(), AbortStatus> {
+    if st.writes.is_empty() {
+        // Read-only transactions were validated read-by-read against rv.
+        return Ok(());
+    }
+
+    // Phase 1: lock every write-set cell.
+    let mut locked = 0usize;
+    // Saved metas live outside `st` so the unlock path can restore them.
+    let mut saved_metas: Vec<u64> = Vec::with_capacity(st.writes.len());
+    'locking: for w in &st.writes {
+        // SAFETY: cells outlive the transactions that access them.
+        let meta = unsafe { &*w.meta };
+        let mut spins = 0u32;
+        loop {
+            let m = meta.load(Ordering::Relaxed);
+            tick(Event::Cas);
+            if !is_locked(m)
+                && meta
+                    .compare_exchange_weak(m, m | LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                saved_metas.push(m);
+                locked += 1;
+                continue 'locking;
+            }
+            spins += 1;
+            if spins > COMMIT_SPIN_LIMIT {
+                unlock(&st.writes[..locked], &saved_metas);
+                return Err(AbortStatus::conflict());
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    // Phase 2: validate the read set.
+    tick_n(Event::SharedLoad, st.reads.len() as u64);
+    for &rp in &st.reads {
+        // SAFETY: as above.
+        let m = unsafe { &*rp }.load(Ordering::Acquire);
+        if is_locked(m) {
+            // Locked by us is fine if the pre-lock version was valid.
+            match st.writes.iter().position(|w| w.meta == rp) {
+                Some(i) if ver_of(saved_metas[i]) <= st.rv => {}
+                _ => {
+                    unlock(&st.writes[..locked], &saved_metas);
+                    return Err(AbortStatus::conflict());
+                }
+            }
+        } else if ver_of(m) > st.rv {
+            unlock(&st.writes[..locked], &saved_metas);
+            return Err(AbortStatus::conflict());
+        }
+    }
+
+    // Phase 3: publish.
+    let wv = GLOBAL_VCLOCK.fetch_add(1, Ordering::Relaxed) + 1;
+    tick_n(Event::SharedStore, st.writes.len() as u64);
+    for w in &st.writes {
+        // SAFETY: we hold the cell lock; readers retry while locked.
+        unsafe {
+            std::ptr::copy_nonoverlapping(w.buf.as_ptr(), w.value_ptr, w.size);
+        }
+        fence(Ordering::Release);
+        // SAFETY: as above.
+        unsafe { &*w.meta }.store(wv << 1, Ordering::Release);
+    }
+    Ok(())
+}
+
+fn unlock(writes: &[WriteEntry], saved_metas: &[u64]) {
+    for (w, &m) in writes.iter().zip(saved_metas) {
+        // SAFETY: we locked these cells in `commit`.
+        unsafe { &*w.meta }.store(m, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abort::AbortCode;
+    use ale_vtime::Platform;
+
+    fn profile() -> HtmProfile {
+        Platform::testbed().htm.unwrap()
+    }
+
+    fn rng() -> Rng {
+        Rng::new(99)
+    }
+
+    #[test]
+    fn commit_publishes_all_writes() {
+        let a = HtmCell::new(0u64);
+        let b = HtmCell::new(0u64);
+        let r = attempt(&profile(), &mut rng(), || {
+            a.set(1);
+            b.set(2);
+            assert_eq!(a.get(), 1, "read-after-write sees buffered value");
+        });
+        assert!(r.is_ok());
+        assert_eq!((a.get(), b.get()), (1, 2));
+    }
+
+    #[test]
+    fn abort_discards_all_writes() {
+        let a = HtmCell::new(10u64);
+        let r: Result<(), _> = attempt(&profile(), &mut rng(), || {
+            a.set(99);
+            explicit_abort(7);
+        });
+        assert_eq!(r.unwrap_err().code, AbortCode::Explicit(7));
+        assert_eq!(a.get(), 10, "aborted write must not be visible");
+    }
+
+    #[test]
+    fn plain_store_invalidates_readers() {
+        let a = HtmCell::new(0u64);
+        let r: Result<u64, _> = attempt(&profile(), &mut rng(), || {
+            let v = a.get();
+            // A non-transactional store lands after our snapshot…
+            a.plain_store(123);
+            // …so our next transactional read of the cell must abort.
+            v + a.get()
+        });
+        assert_eq!(r.unwrap_err().code, AbortCode::Conflict);
+        assert_eq!(a.get(), 123);
+    }
+
+    #[test]
+    fn commit_validation_catches_interleaved_store() {
+        // Read a cell transactionally, then have the "outside world" bump it
+        // before commit; a write-set member forces a full commit validation.
+        let observed = HtmCell::new(0u64);
+        let unrelated = HtmCell::new(0u64);
+        let r = attempt(&profile(), &mut rng(), || {
+            let v = observed.get();
+            unrelated.set(1);
+            observed.plain_store(v + 1); // simulates a concurrent writer
+        });
+        assert_eq!(r.unwrap_err().code, AbortCode::Conflict);
+        assert_eq!(unrelated.get(), 0, "aborted transaction published nothing");
+    }
+
+    #[test]
+    fn write_capacity_aborts() {
+        let mut p = profile();
+        p.max_write_set = 4;
+        let cells: Vec<HtmCell<u64>> = (0..10).map(HtmCell::new).collect();
+        let r = attempt(&p, &mut rng(), || {
+            for c in &cells {
+                c.set(0);
+            }
+        });
+        let st = r.unwrap_err();
+        assert_eq!(st.code, AbortCode::Capacity);
+        assert!(!st.may_retry, "capacity aborts must not suggest retry");
+    }
+
+    #[test]
+    fn read_capacity_aborts() {
+        let mut p = profile();
+        p.max_read_set = 4;
+        let cells: Vec<HtmCell<u64>> = (0..10).map(HtmCell::new).collect();
+        let r = attempt(&p, &mut rng(), || {
+            cells.iter().map(|c| c.get()).sum::<u64>()
+        });
+        assert_eq!(r.unwrap_err().code, AbortCode::Capacity);
+    }
+
+    #[test]
+    fn duplicate_reads_do_not_exhaust_capacity() {
+        let mut p = profile();
+        p.max_read_set = 4;
+        let a = HtmCell::new(7u64);
+        let r = attempt(&p, &mut rng(), || {
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += a.get();
+            }
+            sum
+        });
+        assert_eq!(r.unwrap(), 700);
+    }
+
+    #[test]
+    fn spurious_aborts_happen_at_profile_rate() {
+        let p = Platform::rock().htm.unwrap();
+        let mut r = rng();
+        let mut aborts = 0;
+        let trials = 5000;
+        for _ in 0..trials {
+            if attempt(&p, &mut r, || ()).is_err() {
+                aborts += 1;
+            }
+        }
+        // rock: 2% per-txn spurious rate; empty body → no per-access rate.
+        let rate = aborts as f64 / trials as f64;
+        assert!((0.01..0.04).contains(&rate), "spurious rate {rate}");
+    }
+
+    #[test]
+    fn nested_attempts_are_flattened() {
+        let a = HtmCell::new(0u64);
+        let r = attempt(&profile(), &mut rng(), || {
+            a.set(1);
+            let inner = attempt(&profile(), &mut rng(), || {
+                assert!(in_txn());
+                a.set(2);
+                a.get()
+            });
+            assert_eq!(inner.unwrap(), 2);
+            a.get()
+        });
+        assert_eq!(r.unwrap(), 2);
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn explicit_abort_in_nested_scope_aborts_outer() {
+        let a = HtmCell::new(0u64);
+        let r: Result<(), _> = attempt(&profile(), &mut rng(), || {
+            a.set(5);
+            let _ = attempt(&profile(), &mut rng(), || explicit_abort(3));
+            unreachable!("flattened abort must unwind the outer attempt");
+        });
+        assert_eq!(r.unwrap_err().code, AbortCode::Explicit(3));
+        assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn user_panics_propagate_and_clean_up() {
+        let a = HtmCell::new(0u64);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = attempt(&profile(), &mut rng(), || {
+                a.set(1);
+                panic!("user bug");
+            });
+        }));
+        assert!(caught.is_err());
+        assert!(!in_txn(), "tx state must be cleared after a user panic");
+        assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn set_lengths_report_and_reset() {
+        assert_eq!(read_set_len(), 0);
+        assert_eq!(write_set_len(), 0);
+        let a = HtmCell::new(0u64);
+        let b = HtmCell::new(0u64);
+        let r = attempt(&profile(), &mut rng(), || {
+            let _ = a.get();
+            b.set(1);
+            (read_set_len(), write_set_len())
+        });
+        assert_eq!(r.unwrap(), (1, 1));
+        assert_eq!(read_set_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_atomic() {
+        // Classic counter test: N threads × M transactional increments with
+        // retry-until-commit must not lose updates.
+        let counter = HtmCell::new(0u64);
+        let p = profile();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let counter = &counter;
+                let p = p.clone();
+                s.spawn(move || {
+                    let mut r = Rng::new(1000 + t);
+                    for _ in 0..2000 {
+                        loop {
+                            let ok = attempt(&p, &mut r, || {
+                                let v = counter.get();
+                                counter.set(v + 1);
+                            });
+                            if ok.is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 8000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_transactions_commit() {
+        // Transactions touching disjoint cells shouldn't conflict (beyond
+        // rare commit-window overlaps, resolved by retry).
+        let cells: Vec<HtmCell<u64>> = (0..8).map(|_| HtmCell::new(0)).collect();
+        let p = profile();
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let cells = &cells;
+                let p = p.clone();
+                s.spawn(move || {
+                    let mut r = Rng::new(t as u64);
+                    for _ in 0..1000 {
+                        loop {
+                            let ok = attempt(&p, &mut r, || {
+                                let v = cells[t].get();
+                                cells[t].set(v + 1);
+                            });
+                            if ok.is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        for c in &cells {
+            assert_eq!(c.get(), 1000);
+        }
+    }
+
+    #[test]
+    fn atomic_swap_invariant_under_contention() {
+        // Two cells always sum to 100; concurrent transfers must preserve it.
+        let a = HtmCell::new(50u64);
+        let b = HtmCell::new(50u64);
+        let p = profile();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let (a, b) = (&a, &b);
+                let p = p.clone();
+                s.spawn(move || {
+                    let mut r = Rng::new(t);
+                    for i in 0..2000u64 {
+                        loop {
+                            let ok = attempt(&p, &mut r, || {
+                                let (x, y) = (a.get(), b.get());
+                                assert_eq!(x + y, 100, "opacity violated");
+                                if i % 2 == 0 && x > 0 {
+                                    a.set(x - 1);
+                                    b.set(y + 1);
+                                } else if y > 0 {
+                                    a.set(x + 1);
+                                    b.set(y - 1);
+                                }
+                            });
+                            if ok.is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(a.get() + b.get(), 100);
+    }
+}

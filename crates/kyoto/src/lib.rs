@@ -1,0 +1,30 @@
+//! # ale-kyoto — the Kyoto Cabinet experiment substrate (§5, Figure 5)
+//!
+//! The paper's "real example" benchmark: a Kyoto-Cabinet-`CacheDB`-style
+//! in-memory hash database whose locking structure — a top-level
+//! readers-writer lock over 16 slot locks — produces natural two-level
+//! critical-section nesting:
+//!
+//! * [`AleCacheDb`] — ALE-integrated: external RW-lock critical section
+//!   (HTM + SWOpt enabled) with a nested slot-lock critical section
+//!   (HTM only), per the paper's best configuration;
+//! * [`TrylockspinDb`] — Kyoto's hand-tuned `trylockspin` idiom, the
+//!   uninstrumented baseline;
+//! * [`wicked`] — the `kcwickedtest`-style random-operation workload,
+//!   including the `nomutate` variant whose 42 %-miss statistics the paper
+//!   reports.
+//!
+//! Kyoto Cabinet itself is a C++ on-disk/in-memory DBM; this reproduction
+//! keeps exactly the pieces the experiment stresses (the locking structure
+//! and operation mix) and replaces byte-string records with fixed-size
+//! values — see DESIGN.md for the substitution argument.
+
+pub mod ale_db;
+pub mod db;
+pub mod trylockspin;
+pub mod wicked;
+
+pub use ale_db::{AleCacheDb, DbConfig};
+pub use db::{slot_of, KyotoDb, Slot, Value, SLOT_NUM};
+pub use trylockspin::TrylockspinDb;
+pub use wicked::{prefill, value_for, wicked_op, wicked_run, WickedConfig, WickedOp, WickedStats};

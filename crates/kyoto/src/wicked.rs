@@ -1,0 +1,249 @@
+//! The `wicked` workload: a port of Kyoto Cabinet's `kcwickedtest`
+//! stress mix — each iteration performs a randomly chosen operation on a
+//! random key, with occasional whole-database operations.
+//!
+//! Two paper-relevant variants:
+//! * the default mixed workload (Figure 5's driver), and
+//! * **`nomutate`** — lookups only, over a key range prepopulated so that
+//!   a configurable fraction of lookups miss. The paper reports that on
+//!   T2-2, "42 % of the executions did not find the object they were
+//!   seeking, and hence succeeded using SWOpt"; `WickedConfig::nomutate`
+//!   reproduces that ratio by prepopulating 58 % of the key space.
+
+use ale_vtime::Rng;
+
+use crate::db::{KyotoDb, Value};
+
+/// Which operation an iteration performed (for workload statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WickedOp {
+    Set,
+    Get,
+    Remove,
+    Count,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WickedConfig {
+    /// Size of the key space.
+    pub key_space: u64,
+    /// Lookups only (the `nomutate` variant).
+    pub nomutate: bool,
+    /// Fraction (per mille) of the key space prepopulated before the run.
+    pub prefill_permille: u64,
+    /// Per-iteration probability (per mille) of a whole-database `count`
+    /// (the expensive exclusive op; `kcwickedtest` sprinkles these in).
+    pub count_permille: u64,
+    /// Payload words per record (Kyoto's records carry byte-string bodies;
+    /// this sizes the equivalent transactional footprint).
+    pub payload_cells: usize,
+}
+
+impl Default for WickedConfig {
+    fn default() -> Self {
+        WickedConfig {
+            key_space: 1 << 16,
+            nomutate: false,
+            prefill_permille: 580,
+            count_permille: 1,
+            payload_cells: 0,
+        }
+    }
+}
+
+impl WickedConfig {
+    /// The `nomutate` variant tuned for the paper's 42 % miss rate.
+    pub fn nomutate(key_space: u64) -> Self {
+        WickedConfig {
+            key_space,
+            nomutate: true,
+            prefill_permille: 580,
+            count_permille: 0,
+            payload_cells: 0,
+        }
+    }
+}
+
+/// Deterministically prefill `db` per the config (call once, before
+/// spawning workers).
+pub fn prefill(db: &dyn KyotoDb, cfg: &WickedConfig, seed: u64) {
+    let mut rng = Rng::new(seed ^ 0x5EED_F111);
+    let target = cfg.key_space * cfg.prefill_permille / 1000;
+    // Random distinct-ish keys: walk the space and keep prefill_permille.
+    let mut inserted = 0;
+    for key in 0..cfg.key_space {
+        if inserted >= target {
+            break;
+        }
+        if rng.gen_ratio(cfg.prefill_permille, 1000) {
+            db.set(key, value_for(key));
+            inserted += 1;
+        }
+    }
+}
+
+/// The canonical value bound to a key (so readers can verify bindings).
+#[inline]
+pub fn value_for(key: u64) -> Value {
+    key.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1
+}
+
+/// Statistics one worker accumulates.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WickedStats {
+    pub ops: u64,
+    pub gets: u64,
+    pub get_hits: u64,
+    pub sets: u64,
+    pub removes: u64,
+    pub counts: u64,
+}
+
+impl WickedStats {
+    pub fn merge(&mut self, other: &WickedStats) {
+        self.ops += other.ops;
+        self.gets += other.gets;
+        self.get_hits += other.get_hits;
+        self.sets += other.sets;
+        self.removes += other.removes;
+        self.counts += other.counts;
+    }
+
+    /// Fraction of lookups that missed (the paper's 42 % statistic).
+    pub fn miss_rate(&self) -> f64 {
+        if self.gets == 0 {
+            return 0.0;
+        }
+        1.0 - self.get_hits as f64 / self.gets as f64
+    }
+}
+
+/// Run one wicked iteration. Returns the op performed.
+pub fn wicked_op(
+    db: &dyn KyotoDb,
+    cfg: &WickedConfig,
+    rng: &mut Rng,
+    stats: &mut WickedStats,
+) -> WickedOp {
+    stats.ops += 1;
+    let key = rng.gen_range(cfg.key_space);
+    if cfg.nomutate {
+        stats.gets += 1;
+        if let Some(v) = db.get(key) {
+            debug_assert_eq!(v, value_for(key));
+            stats.get_hits += 1;
+        }
+        return WickedOp::Get;
+    }
+    if cfg.count_permille > 0 && rng.gen_ratio(cfg.count_permille, 1000) {
+        stats.counts += 1;
+        std::hint::black_box(db.count());
+        return WickedOp::Count;
+    }
+    // kcwickedtest-style mix: ~60 % get, ~25 % set, ~15 % remove.
+    match rng.gen_range(100) {
+        0..=59 => {
+            stats.gets += 1;
+            if let Some(v) = db.get(key) {
+                debug_assert_eq!(v, value_for(key));
+                stats.get_hits += 1;
+            }
+            WickedOp::Get
+        }
+        60..=84 => {
+            stats.sets += 1;
+            db.set(key, value_for(key));
+            WickedOp::Set
+        }
+        _ => {
+            stats.removes += 1;
+            db.remove(key);
+            WickedOp::Remove
+        }
+    }
+}
+
+/// Run `ops` wicked iterations with a worker-specific random stream.
+pub fn wicked_run(db: &dyn KyotoDb, cfg: &WickedConfig, seed: u64, ops: u64) -> WickedStats {
+    let mut rng = Rng::new(seed);
+    let mut stats = WickedStats::default();
+    for _ in 0..ops {
+        wicked_op(db, cfg, &mut rng, &mut stats);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trylockspin::TrylockspinDb;
+
+    #[test]
+    fn prefill_hits_target_fraction() {
+        let db = TrylockspinDb::new(1 << 10, 1 << 16);
+        let cfg = WickedConfig {
+            key_space: 10_000,
+            ..Default::default()
+        };
+        prefill(&db, &cfg, 1);
+        let n = db.count() as f64 / 10_000.0;
+        assert!((0.54..0.62).contains(&n), "prefill fraction {n}");
+    }
+
+    #[test]
+    fn nomutate_miss_rate_matches_paper() {
+        let db = TrylockspinDb::new(1 << 10, 1 << 16);
+        let cfg = WickedConfig::nomutate(20_000);
+        prefill(&db, &cfg, 2);
+        let stats = wicked_run(&db, &cfg, 3, 20_000);
+        assert_eq!(stats.gets, 20_000);
+        assert_eq!(stats.sets + stats.removes + stats.counts, 0);
+        let miss = stats.miss_rate();
+        assert!(
+            (0.38..0.46).contains(&miss),
+            "nomutate should miss ~42 % of lookups, got {miss:.3}"
+        );
+    }
+
+    #[test]
+    fn mixed_run_exercises_all_ops() {
+        let db = TrylockspinDb::new(1 << 10, 1 << 16);
+        let cfg = WickedConfig {
+            key_space: 5_000,
+            count_permille: 5,
+            ..Default::default()
+        };
+        prefill(&db, &cfg, 4);
+        let stats = wicked_run(&db, &cfg, 5, 20_000);
+        assert_eq!(stats.ops, 20_000);
+        assert!(stats.gets > 10_000, "{stats:?}");
+        assert!(stats.sets > 3_000, "{stats:?}");
+        assert!(stats.removes > 2_000, "{stats:?}");
+        assert!(stats.counts > 0, "{stats:?}");
+        assert!(stats.get_hits > 0);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = WickedStats {
+            ops: 1,
+            gets: 1,
+            get_hits: 1,
+            ..Default::default()
+        };
+        let b = WickedStats {
+            ops: 2,
+            gets: 1,
+            get_hits: 0,
+            sets: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ops, 3);
+        assert_eq!(a.gets, 2);
+        assert_eq!(a.get_hits, 1);
+        assert_eq!(a.sets, 1);
+        assert!((a.miss_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests: both Kyoto-style databases against a reference
+//! model, under arbitrary operation scripts.
+
+use std::collections::HashMap;
+
+use ale_core::{Ale, AleConfig, StaticPolicy};
+use ale_kyoto::{AleCacheDb, DbConfig, KyotoDb, TrylockspinDb};
+use ale_vtime::Platform;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u64, u64),
+    Get(u64),
+    Remove(u64),
+    Count,
+    Clear,
+}
+
+fn op_strategy(keys: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..keys, any::<u64>()).prop_map(|(k, v)| Op::Set(k, v)),
+        5 => (0..keys).prop_map(Op::Get),
+        3 => (0..keys).prop_map(Op::Remove),
+        1 => Just(Op::Count),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn check_db(db: &dyn KyotoDb, script: &[Op]) -> Result<(), TestCaseError> {
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for op in script {
+        match *op {
+            Op::Set(k, v) => {
+                prop_assert_eq!(db.set(k, v), !model.contains_key(&k));
+                model.insert(k, v);
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(db.get(k), model.get(&k).copied());
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(db.remove(k), model.remove(&k).is_some());
+            }
+            Op::Count => {
+                prop_assert_eq!(db.count(), model.len());
+            }
+            Op::Clear => {
+                db.clear();
+                model.clear();
+            }
+        }
+    }
+    prop_assert_eq!(db.count(), model.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The trylockspin baseline matches the model.
+    #[test]
+    fn trylockspin_matches_model(script in proptest::collection::vec(op_strategy(48), 0..100)) {
+        let db = TrylockspinDb::new(64, 4096);
+        check_db(&db, &script)?;
+    }
+
+    /// The ALE database matches the model with HTM available.
+    #[test]
+    fn ale_db_matches_model_htm(script in proptest::collection::vec(op_strategy(48), 0..100)) {
+        let ale = Ale::new(AleConfig::new(Platform::testbed()).with_seed(9), StaticPolicy::new(4, 8));
+        let db = AleCacheDb::new(&ale, DbConfig { buckets_per_slot: 64, capacity_per_slot: 4096, payload_cells: 0 });
+        check_db(&db, &script)?;
+    }
+
+    /// The ALE database matches the model with SWOpt only (T2-2).
+    #[test]
+    fn ale_db_matches_model_swopt(script in proptest::collection::vec(op_strategy(48), 0..100)) {
+        let ale = Ale::new(AleConfig::new(Platform::t2()).with_seed(10), StaticPolicy::new(0, 8));
+        let db = AleCacheDb::new(&ale, DbConfig { buckets_per_slot: 64, capacity_per_slot: 4096, payload_cells: 0 });
+        check_db(&db, &script)?;
+    }
+
+    /// Rock's fragile HTM never corrupts the database.
+    #[test]
+    fn ale_db_matches_model_rock(script in proptest::collection::vec(op_strategy(48), 0..100)) {
+        let ale = Ale::new(AleConfig::new(Platform::rock()).with_seed(11), StaticPolicy::new(3, 6));
+        let db = AleCacheDb::new(&ale, DbConfig { buckets_per_slot: 64, capacity_per_slot: 4096, payload_cells: 0 });
+        check_db(&db, &script)?;
+    }
+}

@@ -1,0 +1,112 @@
+//! Bounded exponential backoff, charged to virtual time.
+//!
+//! Used wherever the paper mentions backoff: contended CAS retries in the
+//! statistics machinery (§4.3), lock acquisition spins, and HTM retry
+//! pacing. Each `spin()` burns real CPU briefly *and* charges the
+//! platform's `Backoff(exp)` cost, so contention shows up in simulated
+//! throughput exactly as it would in wall-clock time.
+
+use ale_vtime::{tick, Event};
+
+/// Exponentially growing busy-wait.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    exp: u32,
+    max_exp: u32,
+}
+
+impl Backoff {
+    /// Default cap: 2^10 backoff units.
+    pub const DEFAULT_MAX_EXP: u32 = 10;
+
+    pub fn new() -> Self {
+        Backoff {
+            exp: 0,
+            max_exp: Self::DEFAULT_MAX_EXP,
+        }
+    }
+
+    /// A backoff that never exceeds `2^max_exp` units per spin.
+    pub fn with_max_exp(max_exp: u32) -> Self {
+        Backoff { exp: 0, max_exp }
+    }
+
+    /// Current exponent (grows by one per `spin`, saturating).
+    pub fn exp(&self) -> u32 {
+        self.exp
+    }
+
+    /// Wait once, then increase the delay for next time.
+    #[inline]
+    pub fn spin(&mut self) {
+        tick(Event::Backoff(self.exp));
+        if ale_vtime::is_simulated() {
+            // Virtual cost above is what matters; a token pause suffices.
+            std::hint::spin_loop();
+        } else if self.exp >= 3 {
+            // Real threads on few (possibly one) CPUs: give the lock holder
+            // a chance to run instead of burning the whole timeslice.
+            std::thread::yield_now();
+        } else {
+            for _ in 0..(1u32 << self.exp) {
+                std::hint::spin_loop();
+            }
+        }
+        if self.exp < self.max_exp {
+            self.exp += 1;
+        }
+    }
+
+    /// Forget accumulated delay (call after a successful operation).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.exp = 0;
+    }
+
+    /// Has the backoff reached its cap? Callers often switch strategies
+    /// (e.g. stop eliding and take the lock) at this point.
+    pub fn is_saturated(&self) -> bool {
+        self.exp >= self.max_exp
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_vtime::{Platform, Sim};
+
+    #[test]
+    fn exponent_grows_and_saturates() {
+        let mut b = Backoff::with_max_exp(3);
+        assert_eq!(b.exp(), 0);
+        assert!(!b.is_saturated());
+        for _ in 0..10 {
+            b.spin();
+        }
+        assert_eq!(b.exp(), 3);
+        assert!(b.is_saturated());
+        b.reset();
+        assert_eq!(b.exp(), 0);
+    }
+
+    #[test]
+    fn charges_growing_virtual_time() {
+        let report = Sim::new(Platform::testbed(), 1).run(|_| {
+            let mut b = Backoff::new();
+            let t0 = ale_vtime::now();
+            b.spin();
+            let t1 = ale_vtime::now();
+            b.spin();
+            let t2 = ale_vtime::now();
+            (t1 - t0, t2 - t1)
+        });
+        let (first, second) = report.results[0];
+        assert!(second > first, "backoff must grow: {first} then {second}");
+    }
+}

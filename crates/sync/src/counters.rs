@@ -1,0 +1,200 @@
+//! The BFP probabilistic statistics counter (Dice, Lev, Moir —
+//! "Scalable Statistics Counters", SPAA 2013).
+//!
+//! ALE records *lots* of events (attempts, successes, aborts per
+//! (lock, context) granule). A plain shared `fetch_add` counter becomes a
+//! coherence hot-spot at exactly the moment the data matters most — under
+//! contention. The BFP ("binary floating point") counter stores a mantissa
+//! and an exponent: increments update the shared word only with probability
+//! `2^-exponent`, and each successful update adds `2^exponent` to the
+//! projected value, keeping the estimate **unbiased**. While the value is
+//! small the exponent is 0, so counts are *exact* until the mantissa
+//! reaches its threshold — the paper's requirement that accuracy be good
+//! "even after relatively small numbers of events" (§4.3). When the
+//! mantissa fills up it is halved and the exponent bumped, halving the
+//! update probability.
+//!
+//! Layout of the shared word: `mantissa (48 bits) | exponent (16 bits)`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ale_vtime::{tick, Event, Rng};
+
+use crate::backoff::Backoff;
+
+/// Mantissa threshold: exact counting up to this value, and the relative
+/// error stays ~`1/sqrt(MANTISSA_THRESHOLD)` afterwards.
+const MANTISSA_THRESHOLD: u64 = 1 << 12;
+
+#[inline]
+fn pack(mantissa: u64, exp: u64) -> u64 {
+    (mantissa << 16) | (exp & 0xFFFF)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u64, u64) {
+    (word >> 16, word & 0xFFFF)
+}
+
+/// A scalable, probabilistically-updated event counter (increment-by-one
+/// only, as in the paper — which is why ALE cannot use it for timing data).
+///
+/// ```
+/// use ale_sync::StatCounter;
+/// use ale_vtime::Rng;
+/// let c = StatCounter::new();
+/// let mut rng = Rng::new(1);
+/// for _ in 0..1000 {
+///     c.inc(&mut rng);
+/// }
+/// assert_eq!(c.read(), 1000, "exact while the count is small");
+/// ```
+#[derive(Debug, Default)]
+pub struct StatCounter {
+    word: AtomicU64,
+}
+
+impl StatCounter {
+    pub fn new() -> Self {
+        StatCounter {
+            word: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one event. `rng` supplies the thinning decisions (per-thread,
+    /// deterministic under simulation).
+    #[inline]
+    pub fn inc(&self, rng: &mut Rng) {
+        let (_, exp) = unpack(self.word.load(Ordering::Relaxed));
+        // Update with probability 2^-exp…
+        if exp > 0 && rng.gen_range(1 << exp) != 0 {
+            return;
+        }
+        // …and when we do, the CAS retries with backoff (contention on the
+        // shared word is already thinned by the sampling).
+        let mut backoff = Backoff::with_max_exp(6);
+        loop {
+            let w = self.word.load(Ordering::Relaxed);
+            let (m, e) = unpack(w);
+            if e != exp {
+                // The exponent moved under us; our thinning probability was
+                // wrong — drop this update attempt (the paper accepts this
+                // transient; it only perturbs the estimate near threshold).
+                return;
+            }
+            let (nm, ne) = if m + 1 >= MANTISSA_THRESHOLD * 2 {
+                (m.div_ceil(2), e + 1)
+            } else {
+                (m + 1, e)
+            };
+            tick(Event::Cas);
+            if self
+                .word
+                .compare_exchange_weak(w, pack(nm, ne), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    /// The projected (estimated) count: `mantissa << exponent`. Exact while
+    /// the exponent is zero.
+    #[inline]
+    pub fn read(&self) -> u64 {
+        tick(Event::SharedLoad);
+        let (m, e) = unpack(self.word.load(Ordering::Acquire));
+        m << e
+    }
+
+    /// Is the counter still in its exact (pre-threshold) regime?
+    pub fn is_exact(&self) -> bool {
+        unpack(self.word.load(Ordering::Relaxed)).1 == 0
+    }
+
+    /// Reset to zero (used between ALE learning phases).
+    pub fn reset(&self) {
+        self.word.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_threshold() {
+        let c = StatCounter::new();
+        let mut rng = Rng::new(1);
+        for i in 1..=1000u64 {
+            c.inc(&mut rng);
+            assert_eq!(c.read(), i, "must be exact in the small-count regime");
+        }
+        assert!(c.is_exact());
+        c.reset();
+        assert_eq!(c.read(), 0);
+    }
+
+    #[test]
+    fn accurate_above_threshold() {
+        let c = StatCounter::new();
+        let mut rng = Rng::new(7);
+        let n = 1_000_000u64;
+        for _ in 0..n {
+            c.inc(&mut rng);
+        }
+        assert!(!c.is_exact());
+        let est = c.read();
+        let err = (est as f64 - n as f64).abs() / n as f64;
+        assert!(err < 0.05, "estimate {est} vs true {n} (err {err:.4})");
+    }
+
+    #[test]
+    fn concurrent_increments_stay_accurate() {
+        let c = StatCounter::new();
+        let per_thread = 100_000u64;
+        let threads = 4u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let c = &c;
+                s.spawn(move || {
+                    let mut rng = Rng::new(100 + t);
+                    for _ in 0..per_thread {
+                        c.inc(&mut rng);
+                    }
+                });
+            }
+        });
+        let n = per_thread * threads;
+        let est = c.read();
+        let err = (est as f64 - n as f64).abs() / n as f64;
+        assert!(err < 0.08, "estimate {est} vs true {n} (err {err:.4})");
+    }
+
+    #[test]
+    fn updates_thin_out_as_count_grows() {
+        // Count CAS updates indirectly: after the exponent grows, most incs
+        // should return without touching the word.
+        let c = StatCounter::new();
+        let mut rng = Rng::new(3);
+        for _ in 0..(MANTISSA_THRESHOLD * 4) {
+            c.inc(&mut rng);
+        }
+        let mut prev = c.word.load(Ordering::Relaxed);
+        let mut changes = 0;
+        for _ in 0..1000 {
+            c.inc(&mut rng);
+            let w = c.word.load(Ordering::Relaxed);
+            if w != prev {
+                changes += 1;
+                prev = w;
+            }
+        }
+        // Exponent is ≥ 2 here, so roughly ≤ 1/4 of incs update the word.
+        assert!(
+            (50..=600).contains(&changes),
+            "updates must be probabilistically thinned: {changes}"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! A tick-charged data mutex.
+//!
+//! Simulated lanes must never block on OS primitives (a parked holder would
+//! deadlock the simulation — see `ale-vtime`), so shared mutable state
+//! inside the ALE runtime is protected by this spin mutex built on
+//! [`SpinLock`]: every wait iteration charges virtual time, and the guard
+//! gives ordinary RAII access to the data.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+use crate::raw_lock::RawLock;
+use crate::spinlock::SpinLock;
+
+/// A `Mutex<T>`-shaped wrapper over the tick-charged [`SpinLock`].
+///
+/// ```
+/// use ale_sync::TickMutex;
+/// let m = TickMutex::new(vec![1, 2]);
+/// m.lock().push(3);
+/// assert_eq!(m.lock().len(), 3);
+/// ```
+pub struct TickMutex<T> {
+    lock: SpinLock,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard mutex reasoning — exclusive access is guaranteed by the
+// spinlock, so only Send is required of T.
+unsafe impl<T: Send> Send for TickMutex<T> {}
+unsafe impl<T: Send> Sync for TickMutex<T> {}
+
+impl<T> TickMutex<T> {
+    pub fn new(data: T) -> Self {
+        TickMutex {
+            lock: SpinLock::new(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    /// Acquire the mutex, spinning (and charging virtual time) if needed.
+    ///
+    /// Inside a hardware transaction this **aborts the transaction**
+    /// (explicit code [`ale_htm::AbortCode::TX_UNFRIENDLY`]): the guarded
+    /// data is plain memory, so its mutations could not be rolled back and
+    /// the buffered lock word would grant no real exclusion — exactly the
+    /// class of operation real HTM aborts on (syscalls, malloc, …). The
+    /// enclosing ALE execution simply retries in a non-HTM mode.
+    pub fn lock(&self) -> TickMutexGuard<'_, T> {
+        if ale_htm::in_txn() {
+            ale_htm::explicit_abort(ale_htm::AbortCode::TX_UNFRIENDLY);
+        }
+        self.lock.acquire();
+        TickMutexGuard { mutex: self }
+    }
+
+    /// Acquire only if immediately free. Aborts the enclosing hardware
+    /// transaction, as [`TickMutex::lock`] does.
+    pub fn try_lock(&self) -> Option<TickMutexGuard<'_, T>> {
+        if ale_htm::in_txn() {
+            ale_htm::explicit_abort(ale_htm::AbortCode::TX_UNFRIENDLY);
+        }
+        if self.lock.try_acquire() {
+            Some(TickMutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Access through `&mut` without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for TickMutex<T> {
+    fn default() -> Self {
+        TickMutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TickMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("TickMutex").field("data", &*g).finish(),
+            None => f.write_str("TickMutex { <locked> }"),
+        }
+    }
+}
+
+/// RAII guard; releases on drop.
+pub struct TickMutexGuard<'a, T> {
+    mutex: &'a TickMutex<T>,
+}
+
+impl<T> Deref for TickMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: we hold the spinlock.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> DerefMut for TickMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: we hold the spinlock exclusively.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for TickMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.lock.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_unlock_and_try() {
+        let m = TickMutex::new(1);
+        {
+            let mut g = m.lock();
+            *g += 1;
+            assert!(m.try_lock().is_none(), "held mutex must refuse try_lock");
+        }
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(*m.try_lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn get_mut_and_into_inner() {
+        let mut m = TickMutex::new(5);
+        *m.get_mut() = 7;
+        assert_eq!(m.into_inner(), 7);
+    }
+
+    #[test]
+    fn guards_real_threads() {
+        let m = TickMutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 40_000);
+    }
+
+    #[test]
+    fn works_inside_simulated_lanes() {
+        use ale_vtime::{Platform, Sim};
+        let m = TickMutex::new(Vec::new());
+        Sim::new(Platform::testbed(), 8).run(|lane| {
+            for _ in 0..100 {
+                m.lock().push(lane.id());
+                ale_vtime::tick(ale_vtime::Event::LocalWork(20));
+            }
+        });
+        assert_eq!(m.into_inner().len(), 800);
+    }
+}
+
+#[cfg(test)]
+mod tx_tests {
+    use super::*;
+    use ale_htm::{attempt, AbortCode};
+    use ale_vtime::{Platform, Rng};
+
+    #[test]
+    fn lock_inside_transaction_aborts_it() {
+        // Plain data guarded by the mutex cannot be rolled back and the
+        // buffered lock word grants no exclusion — the transaction must
+        // abort with the TX_UNFRIENDLY code instead of proceeding unsafely.
+        let m = TickMutex::new(vec![1u64]);
+        let p = Platform::testbed().htm.unwrap();
+        let mut rng = Rng::new(1);
+        let r: Result<(), _> = attempt(&p, &mut rng, || {
+            m.lock().push(2); // must never execute the push
+        });
+        assert_eq!(
+            r.unwrap_err().code,
+            AbortCode::Explicit(AbortCode::TX_UNFRIENDLY)
+        );
+        assert_eq!(m.lock().len(), 1, "no mutation leaked from the abort");
+        let r2: Result<(), _> = attempt(&p, &mut rng, || {
+            let _ = m.try_lock();
+        });
+        assert!(r2.is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! The lock interfaces ALE elides.
+//!
+//! The paper's `LockAPI` is "a structure that identifies methods used to
+//! acquire and release this lock, as well as an `is_locked` method that is
+//! used to check and monitor a lock when an associated critical section is
+//! executed in HTM mode" (§3.2) — i.e. ALE works with *any* lock that can
+//! answer "are you held?". In this reproduction that is the [`RawLock`]
+//! trait; readers-writer locks get the richer [`RawRwLock`].
+//!
+//! **Subscription contract.** `is_locked` implementations must read the
+//! lock state through an [`HtmCell`](ale_htm::HtmCell) (or otherwise via a
+//! transactional read) so that, when called inside a hardware transaction,
+//! the lock word enters the transaction's read set. A later Lock-mode
+//! acquisition then aborts the transaction — without this, Transactional
+//! Lock Elision is unsound. All locks in this crate satisfy the contract.
+
+/// A mutual-exclusion lock ALE can elide.
+pub trait RawLock: Send + Sync {
+    /// Block (spin) until the lock is held by the caller.
+    fn acquire(&self);
+
+    /// Acquire if immediately available.
+    fn try_acquire(&self) -> bool;
+
+    /// Release a held lock.
+    fn release(&self);
+
+    /// Is the lock currently held (by anyone)?
+    ///
+    /// Inside a hardware transaction this read *subscribes* the transaction
+    /// to the lock word (see the module docs).
+    fn is_locked(&self) -> bool;
+}
+
+/// A readers-writer lock ALE can elide.
+///
+/// Used for the Kyoto Cabinet experiments, where the database's top-level
+/// RW-lock guards an outer critical section and per-slot locks guard nested
+/// ones.
+pub trait RawRwLock: Send + Sync {
+    fn acquire_shared(&self);
+    fn try_acquire_shared(&self) -> bool;
+    fn release_shared(&self);
+
+    fn acquire_excl(&self);
+    fn try_acquire_excl(&self) -> bool;
+    fn release_excl(&self);
+
+    /// Is a writer holding the lock? (What an elided *reader* must check.)
+    fn is_excl_locked(&self) -> bool;
+
+    /// Is anyone (reader or writer) holding the lock? (What an elided
+    /// *writer* must check.)
+    fn is_any_locked(&self) -> bool;
+}

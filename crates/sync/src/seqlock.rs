@@ -1,0 +1,256 @@
+//! Sequence locks and the paper's *conflicting-region* refinement.
+//!
+//! A classic seqlock ([`SeqLock`]) brackets every write with two version
+//! increments; optimistic readers retry whenever they observe an odd
+//! version or a version change. Applied naively to lock elision this is
+//! disastrous (§2): every Lock- or HTM-mode critical section would
+//! invalidate all SWOpt readers for its *entire* duration, and the version
+//! bump makes concurrent HTM executions conflict with each other.
+//!
+//! The paper's refinement ([`SeqVersion`], §3.2) gives the programmer
+//! explicit `begin_conflicting_action` / `end_conflicting_action` calls to
+//! bracket only the code that actually interferes with SWOpt readers —
+//! e.g. the `unlink(node)` in `Remove`, not the preceding search. Readers
+//! take a snapshot with [`SeqVersion::read`] and re-validate with
+//! [`SeqVersion::validate`] before *using* any value read since the last
+//! validation.
+//!
+//! The version word is an [`HtmCell`], which is what makes the three modes
+//! compose:
+//! * **Lock mode**: increments are plain stores — the version goes odd for
+//!   exactly the conflicting region.
+//! * **HTM mode**: increments are buffered and publish at commit as one
+//!   even step, so other *transactions* only conflict if they touch the
+//!   word, and SWOpt readers see the bump exactly when the transaction's
+//!   data writes appear. (ALE elides the bump entirely when no SWOpt
+//!   reader can be running — `COULD_SWOPT_BE_RUNNING`, §3.3.)
+//! * **SWOpt mode**: reads are plain consistent loads.
+
+use ale_htm::HtmCell;
+use ale_vtime::{tick, Event};
+
+/// The paper's explicit version number (`tblVer` in the HashMap example).
+///
+/// Mutators must call `begin/end_conflicting_action` only while holding the
+/// associated lock or inside a hardware transaction — the increment itself
+/// is not atomic (matching the C++ library, where `tblVer++` relies on the
+/// critical section for exclusion).
+///
+/// ```
+/// use ale_sync::SeqVersion;
+/// let ver = SeqVersion::new();
+/// let snap = ver.read(true);             // reader takes a snapshot
+/// assert!(ver.validate(snap));           // nothing happened: still valid
+/// ver.begin_conflicting_action();        // writer enters the region…
+/// ver.end_conflicting_action();          // …and leaves it
+/// assert!(!ver.validate(snap), "the reader must retry");
+/// ```
+#[derive(Debug, Default)]
+pub struct SeqVersion {
+    v: HtmCell<u64>,
+}
+
+impl SeqVersion {
+    pub fn new() -> Self {
+        SeqVersion { v: HtmCell::new(0) }
+    }
+
+    /// Mark the start of a region that interferes with SWOpt readers.
+    #[inline]
+    pub fn begin_conflicting_action(&self) {
+        let v = self.v.get();
+        self.v.set(v.wrapping_add(1));
+    }
+
+    /// Mark the end of the conflicting region.
+    #[inline]
+    pub fn end_conflicting_action(&self) {
+        let v = self.v.get();
+        self.v.set(v.wrapping_add(1));
+    }
+
+    /// The paper's `GetVer`: read the version, optionally waiting until it
+    /// is even (no conflicting region in progress).
+    #[inline]
+    pub fn read(&self, wait_until_even: bool) -> u64 {
+        loop {
+            let v = self.v.get();
+            tick(Event::SharedLoad);
+            if !wait_until_even || v.is_multiple_of(2) {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Has the version stayed at `snapshot` (i.e. is everything read since
+    /// the snapshot still consistent)?
+    #[inline]
+    pub fn validate(&self, snapshot: u64) -> bool {
+        tick(Event::SharedLoad);
+        self.v.get() == snapshot
+    }
+}
+
+/// A classic seqlock protecting a `Copy` value: optimistic wait-free-ish
+/// readers, mutually-exclusive writers. Provided as the background
+/// substrate the paper builds on [1, 9].
+#[derive(Debug, Default)]
+pub struct SeqLock<T: Copy> {
+    seq: HtmCell<u64>,
+    data: HtmCell<T>,
+}
+
+impl<T: Copy> SeqLock<T> {
+    pub fn new(value: T) -> Self {
+        SeqLock {
+            seq: HtmCell::new(0),
+            data: HtmCell::new(value),
+        }
+    }
+
+    /// Optimistically read the protected value (retrying on interference).
+    pub fn read(&self) -> T {
+        loop {
+            let s1 = self.seq.get();
+            tick(Event::SharedLoad);
+            if !s1.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let v = self.data.load_consistent();
+            let s2 = self.seq.get();
+            if s1 == s2 {
+                return v;
+            }
+        }
+    }
+
+    /// Exclusively update the protected value.
+    pub fn write(&self, f: impl FnOnce(T) -> T) {
+        // Acquire: even -> odd.
+        loop {
+            let s = self.seq.get();
+            tick(Event::Cas);
+            if s.is_multiple_of(2) && self.seq.compare_exchange(s, s + 1).is_ok() {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let old = self.data.load_consistent();
+        self.data.set(f(old));
+        // Release: odd -> even.
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqversion_bracketing() {
+        let v = SeqVersion::new();
+        let snap = v.read(true);
+        assert_eq!(snap % 2, 0);
+        assert!(v.validate(snap));
+        v.begin_conflicting_action();
+        assert!(!v.validate(snap), "odd version must fail validation");
+        assert_eq!(v.read(false) % 2, 1);
+        v.end_conflicting_action();
+        assert!(!v.validate(snap), "completed action must still invalidate");
+        let snap2 = v.read(true);
+        assert_eq!(snap2, snap + 2);
+    }
+
+    #[test]
+    fn seqversion_wait_until_even() {
+        use ale_vtime::{Platform, Sim};
+        let v = SeqVersion::new();
+        Sim::new(Platform::testbed(), 2).run(|lane| {
+            if lane.id() == 0 {
+                v.begin_conflicting_action();
+                ale_vtime::tick(Event::LocalWork(5_000));
+                v.end_conflicting_action();
+            } else {
+                ale_vtime::tick(Event::LocalWork(100)); // arrive mid-action
+                let snap = v.read(true);
+                assert_eq!(snap % 2, 0);
+                assert_eq!(snap, 2, "reader must have waited out the action");
+            }
+        });
+    }
+
+    #[test]
+    fn htm_mode_bump_publishes_once() {
+        use ale_htm::attempt;
+        use ale_vtime::{Platform, Rng};
+        let v = SeqVersion::new();
+        let p = Platform::testbed().htm.unwrap();
+        let r = attempt(&p, &mut Rng::new(1), || {
+            v.begin_conflicting_action();
+            // Inside the transaction the bump is buffered: a consistent
+            // (non-transactional) observer still sees 0.
+            assert_eq!(v.v.load_consistent(), 0);
+            v.end_conflicting_action();
+        });
+        assert!(r.is_ok());
+        assert_eq!(v.read(false), 2, "both increments publish at commit");
+    }
+
+    #[test]
+    fn aborted_htm_bump_never_appears() {
+        use ale_htm::attempt;
+        use ale_vtime::{Platform, Rng};
+        let v = SeqVersion::new();
+        let p = Platform::testbed().htm.unwrap();
+        let r: Result<(), _> = attempt(&p, &mut Rng::new(1), || {
+            v.begin_conflicting_action();
+            ale_htm::explicit_abort(1);
+        });
+        assert!(r.is_err());
+        assert_eq!(v.read(false), 0, "aborted bump must be invisible");
+    }
+
+    #[test]
+    fn seqlock_readers_never_see_torn_pairs() {
+        let sl = SeqLock::new((0u64, 0u64));
+        std::thread::scope(|s| {
+            for w in 0..2u64 {
+                let sl = &sl;
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        let x = w * 100_000 + i;
+                        sl.write(|_| (x, x));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let sl = &sl;
+                s.spawn(move || {
+                    for _ in 0..20_000 {
+                        let (a, b) = sl.read();
+                        assert_eq!(a, b);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn seqlock_writes_are_exclusive() {
+        let sl = SeqLock::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sl = &sl;
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        sl.write(|v| v + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(sl.read(), 20_000);
+    }
+}

@@ -1,0 +1,145 @@
+//! A test-and-test-and-set spinlock with exponential backoff.
+//!
+//! This is the workhorse lock of the reproduction — the HashMap
+//! microbenchmark's `tblLock` is one of these. Its single word of state
+//! lives in an [`HtmCell`] so hardware transactions can subscribe to it
+//! (see [`raw_lock`](crate::raw_lock)).
+
+use ale_htm::HtmCell;
+use ale_vtime::{tick, Event};
+
+use crate::backoff::Backoff;
+use crate::raw_lock::RawLock;
+
+const FREE: u64 = 0;
+const HELD: u64 = 1;
+
+/// TTAS spinlock (state word: 0 free, 1 held).
+pub struct SpinLock {
+    state: HtmCell<u64>,
+}
+
+impl SpinLock {
+    pub fn new() -> Self {
+        SpinLock {
+            state: HtmCell::new(FREE),
+        }
+    }
+}
+
+impl Default for SpinLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RawLock for SpinLock {
+    fn acquire(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            // Test…
+            while self.state.load_consistent() == HELD {
+                tick(Event::SharedLoad);
+                backoff.spin();
+            }
+            // …and test-and-set.
+            if self.state.compare_exchange(FREE, HELD).is_ok() {
+                tick(Event::LockHandoff);
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        if self.state.load_consistent() == HELD {
+            tick(Event::SharedLoad);
+            return false;
+        }
+        let ok = self.state.compare_exchange(FREE, HELD).is_ok();
+        if ok {
+            tick(Event::LockHandoff);
+        }
+        ok
+    }
+
+    fn release(&self) {
+        debug_assert_eq!(self.state.load_consistent(), HELD, "releasing a free lock");
+        self.state.set(FREE);
+    }
+
+    fn is_locked(&self) -> bool {
+        // Inside a transaction this `get` subscribes to the lock word.
+        self.state.get() == HELD
+    }
+}
+
+impl std::fmt::Debug for SpinLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpinLock")
+            .field("locked", &(self.state.load_consistent() == HELD))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn acquire_release_cycle() {
+        let l = SpinLock::new();
+        assert!(!l.is_locked());
+        l.acquire();
+        assert!(l.is_locked());
+        assert!(!l.try_acquire(), "held lock must refuse try_acquire");
+        l.release();
+        assert!(!l.is_locked());
+        assert!(l.try_acquire());
+        l.release();
+    }
+
+    #[test]
+    fn mutual_exclusion_under_real_threads() {
+        let lock = SpinLock::new();
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (lock, counter) = (&lock, &counter);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        lock.acquire();
+                        // Non-atomic RMW protected by the lock.
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.release();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 40_000);
+    }
+
+    #[test]
+    fn subscription_aborts_transaction_on_acquire() {
+        use ale_htm::{attempt, AbortCode};
+        use ale_vtime::{Platform, Rng};
+        let lock = SpinLock::new();
+        let p = Platform::testbed().htm.unwrap();
+        let mut rng = Rng::new(1);
+        let r: Result<bool, _> = attempt(&p, &mut rng, || {
+            let was_locked = lock.is_locked(); // subscribe
+            assert!(!was_locked);
+            // A concurrent Lock-mode acquisition (another thread, hence a
+            // plain non-transactional CAS on the lock word)…
+            std::thread::scope(|s| {
+                s.spawn(|| lock.acquire());
+            });
+            // …must doom this transaction at its next read of the word.
+            lock.is_locked()
+        });
+        assert_eq!(r.unwrap_err().code, AbortCode::Conflict);
+        assert!(lock.is_locked(), "the other thread's acquisition stands");
+    }
+}

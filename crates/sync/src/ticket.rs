@@ -1,0 +1,162 @@
+//! A ticket lock: FIFO-fair mutual exclusion.
+//!
+//! Included because lock choice interacts with elision policies (a fair
+//! lock's handoff convoy makes lock elision look better under contention);
+//! the benchmark harness can swap it in for the spinlock via [`RawLock`].
+
+use ale_htm::HtmCell;
+use ale_vtime::{tick, Event};
+
+use crate::backoff::Backoff;
+use crate::raw_lock::RawLock;
+
+/// State packs (next_ticket: u32, now_serving: u32) into one cell.
+pub struct TicketLock {
+    state: HtmCell<(u32, u32)>,
+}
+
+impl TicketLock {
+    pub fn new() -> Self {
+        TicketLock {
+            state: HtmCell::new((0, 0)),
+        }
+    }
+}
+
+impl Default for TicketLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RawLock for TicketLock {
+    fn acquire(&self) {
+        // Take a ticket.
+        let my_ticket = loop {
+            let (next, serving) = self.state.load_consistent();
+            if self
+                .state
+                .compare_exchange((next, serving), (next.wrapping_add(1), serving))
+                .is_ok()
+            {
+                break next;
+            }
+            tick(Event::Cas);
+        };
+        // Wait for our turn.
+        let mut backoff = Backoff::with_max_exp(6);
+        loop {
+            let (_, serving) = self.state.load_consistent();
+            tick(Event::SharedLoad);
+            if serving == my_ticket {
+                tick(Event::LockHandoff);
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        let (next, serving) = self.state.load_consistent();
+        if next != serving {
+            tick(Event::SharedLoad);
+            return false;
+        }
+        let ok = self
+            .state
+            .compare_exchange((next, serving), (next.wrapping_add(1), serving))
+            .is_ok();
+        if ok {
+            tick(Event::LockHandoff);
+        }
+        ok
+    }
+
+    fn release(&self) {
+        loop {
+            let (next, serving) = self.state.load_consistent();
+            debug_assert_ne!(next, serving, "releasing a free ticket lock");
+            if self
+                .state
+                .compare_exchange((next, serving), (next, serving.wrapping_add(1)))
+                .is_ok()
+            {
+                return;
+            }
+            tick(Event::Cas);
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        let (next, serving) = self.state.get(); // subscribes inside a tx
+        next != serving
+    }
+}
+
+impl std::fmt::Debug for TicketLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (next, serving) = self.state.load_consistent();
+        f.debug_struct("TicketLock")
+            .field("next", &next)
+            .field("serving", &serving)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn acquire_release_and_try() {
+        let l = TicketLock::new();
+        assert!(!l.is_locked());
+        l.acquire();
+        assert!(l.is_locked());
+        assert!(!l.try_acquire());
+        l.release();
+        assert!(l.try_acquire());
+        l.release();
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_real_threads() {
+        let lock = TicketLock::new();
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (lock, counter) = (&lock, &counter);
+                s.spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.acquire();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.release();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 20_000);
+    }
+
+    #[test]
+    fn fifo_order_under_simulator() {
+        // Under the deterministic simulator, grant order must match ticket
+        // (request) order.
+        use ale_vtime::{Platform, Sim};
+        use std::sync::Mutex;
+        let lock = TicketLock::new();
+        let grants = Mutex::new(Vec::new());
+        Sim::new(Platform::testbed(), 4).run(|lane| {
+            // Stagger requests so lane i requests i-th.
+            ale_vtime::tick(Event::LocalWork(100 * (lane.id() as u64 + 1)));
+            lock.acquire();
+            grants.lock().unwrap().push(lane.id());
+            ale_vtime::tick(Event::LocalWork(1000));
+            lock.release();
+        });
+        assert_eq!(grants.into_inner().unwrap(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Sampled timing statistics (§4.3 of the paper).
+//!
+//! "For time intervals, we measure the time period of interest for
+//! approximately 3 % of events, and use CAS to update summary variables.
+//! Exponential backoff is employed to mitigate any remaining contention."
+//!
+//! A [`SampledTime`] does exactly that: `begin()` decides (per-thread
+//! deterministic coin, ~3 %) whether this event is measured; if so the
+//! caller passes the token to `record()`, which CAS-updates the running
+//! (count, sum) with backoff. Averages are unreliable until a few hundred
+//! samples accumulate — the paper says as much — so [`SampledTime::avg_ns`]
+//! exposes the sample count for consumers (the adaptive policy waits for
+//! enough executions before trusting the numbers).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ale_vtime::{now, tick, Event, Rng};
+
+use crate::backoff::Backoff;
+
+/// Sampling rate: 1 in 32 ≈ 3 %.
+const SAMPLE_SHIFT: u32 = 5;
+
+/// Token proving a measurement was started; passed back to
+/// [`SampledTime::record`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimeToken {
+    start_ns: u64,
+}
+
+/// A sampled mean-duration accumulator.
+#[derive(Debug, Default)]
+pub struct SampledTime {
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl SampledTime {
+    pub fn new() -> Self {
+        SampledTime {
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Start a measurement with the ~3 % sampling coin. Returns `None` for
+    /// unsampled events (the overwhelmingly common, free case).
+    #[inline]
+    pub fn begin(&self, rng: &mut Rng) -> Option<TimeToken> {
+        if rng.next_u32() & ((1 << SAMPLE_SHIFT) - 1) != 0 {
+            return None;
+        }
+        Some(TimeToken { start_ns: now() })
+    }
+
+    /// Start a measurement unconditionally (learning phases sample 100 %).
+    #[inline]
+    pub fn begin_always(&self) -> TimeToken {
+        TimeToken { start_ns: now() }
+    }
+
+    /// Finish a measurement and fold it into the summary.
+    pub fn record(&self, token: TimeToken) {
+        let elapsed = now().saturating_sub(token.start_ns);
+        self.add_duration(elapsed);
+    }
+
+    /// Fold an externally measured duration into the summary.
+    pub fn add_duration(&self, elapsed_ns: u64) {
+        // CAS + exponential backoff per the paper. Two words are updated
+        // independently; the tiny transient skew between them is noise
+        // relative to the sampling error.
+        let mut backoff = Backoff::with_max_exp(6);
+        loop {
+            let s = self.sum_ns.load(Ordering::Relaxed);
+            tick(Event::Cas);
+            if self
+                .sum_ns
+                .compare_exchange_weak(
+                    s,
+                    s.saturating_add(elapsed_ns),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                break;
+            }
+            backoff.spin();
+        }
+        backoff.reset();
+        loop {
+            let c = self.count.load(Ordering::Relaxed);
+            tick(Event::Cas);
+            if self
+                .count
+                .compare_exchange_weak(c, c + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+            backoff.spin();
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Total recorded nanoseconds (sum over samples). With ~3 % sampling
+    /// this estimates 3 % of the true total; within a learning phase
+    /// (100 % measurement) it is the exact time spent.
+    pub fn total_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Acquire)
+    }
+
+    /// Mean duration over recorded samples, or `None` if below
+    /// `min_samples` (callers pick their confidence bar).
+    pub fn avg_ns(&self, min_samples: u64) -> Option<u64> {
+        let c = self.count.load(Ordering::Acquire);
+        if c < min_samples.max(1) {
+            return None;
+        }
+        Some(self.sum_ns.load(Ordering::Acquire) / c)
+    }
+
+    /// Reset between learning phases.
+    pub fn reset(&self) {
+        self.sum_ns.store(0, Ordering::Release);
+        self.count.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_known_durations() {
+        let t = SampledTime::new();
+        t.add_duration(100);
+        t.add_duration(200);
+        t.add_duration(300);
+        assert_eq!(t.samples(), 3);
+        assert_eq!(t.avg_ns(1), Some(200));
+        assert_eq!(t.avg_ns(4), None, "below the confidence bar");
+        t.reset();
+        assert_eq!(t.samples(), 0);
+        assert_eq!(t.avg_ns(1), None);
+    }
+
+    #[test]
+    fn sampling_rate_is_about_three_percent() {
+        let t = SampledTime::new();
+        let mut rng = Rng::new(5);
+        let sampled = (0..100_000).filter(|_| t.begin(&mut rng).is_some()).count();
+        let rate = sampled as f64 / 100_000.0;
+        assert!((0.025..0.04).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn measures_virtual_time_under_simulator() {
+        use ale_vtime::{Platform, Sim};
+        let t = SampledTime::new();
+        Sim::new(Platform::testbed(), 1).run(|_| {
+            let tok = t.begin_always();
+            ale_vtime::tick(Event::LocalWork(5_000));
+            t.record(tok);
+        });
+        let avg = t.avg_ns(1).unwrap();
+        assert!(
+            (5_000..6_000).contains(&avg),
+            "avg {avg} should be ≈ 5000 ns of virtual time"
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let t = SampledTime::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        t.add_duration(10);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.samples(), 40_000);
+        assert_eq!(t.avg_ns(1), Some(10));
+    }
+}

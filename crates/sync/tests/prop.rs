@@ -1,0 +1,143 @@
+//! Property-based tests for the synchronisation substrates.
+
+use ale_sync::{RawLock, RawRwLock, RwLock, SeqVersion, Snzi, SpinLock, StatCounter, TicketLock};
+use ale_vtime::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SNZI: for any arrive/depart schedule, query == surplus > 0.
+    #[test]
+    fn snzi_tracks_surplus(
+        levels in 0u32..5,
+        script in proptest::collection::vec((any::<usize>(), any::<bool>()), 0..60),
+    ) {
+        let s = Snzi::new(levels);
+        let mut guards = Vec::new();
+        for (hint, arrive) in script {
+            if arrive || guards.is_empty() {
+                guards.push(s.arrive_at(hint));
+            } else {
+                let idx = hint % guards.len();
+                guards.swap_remove(idx);
+            }
+            prop_assert_eq!(s.query(), !guards.is_empty());
+        }
+        drop(guards);
+        prop_assert!(!s.query());
+    }
+
+    /// BFP counter: exact at small counts; within 10 % for any count up to
+    /// a few hundred thousand, for any seed.
+    #[test]
+    fn counter_accuracy(seed in any::<u64>(), n in 1u64..200_000) {
+        let c = StatCounter::new();
+        let mut rng = Rng::new(seed);
+        for _ in 0..n {
+            c.inc(&mut rng);
+        }
+        let est = c.read();
+        if n <= 4096 {
+            prop_assert_eq!(est, n, "exact regime");
+        } else {
+            let err = (est as f64 - n as f64).abs() / n as f64;
+            prop_assert!(err < 0.10, "n={n} est={est} err={err:.4}");
+        }
+    }
+
+    /// SeqVersion: interleaved conflicting actions and reads — a snapshot
+    /// validates iff no action intervened, and versions stay even outside
+    /// actions.
+    #[test]
+    fn seqversion_validation(actions in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let v = SeqVersion::new();
+        let mut snap = v.read(true);
+        prop_assert_eq!(snap % 2, 0);
+        for do_action in actions {
+            if do_action {
+                v.begin_conflicting_action();
+                prop_assert_eq!(v.read(false) % 2, 1);
+                v.end_conflicting_action();
+                prop_assert!(!v.validate(snap), "action must invalidate");
+                snap = v.read(true);
+            } else {
+                prop_assert!(v.validate(snap), "no action: snapshot stays valid");
+            }
+        }
+    }
+
+    /// Locks: any acquire/release interleaving driven sequentially keeps
+    /// is_locked consistent; try_acquire agrees with state.
+    #[test]
+    fn mutex_state_machine(ops in proptest::collection::vec(any::<bool>(), 0..40)) {
+        let spin = SpinLock::new();
+        let ticket = TicketLock::new();
+        let mut held = false;
+        for want_acquire in ops {
+            if want_acquire && !held {
+                spin.acquire();
+                ticket.acquire();
+                held = true;
+            } else if !want_acquire && held {
+                spin.release();
+                ticket.release();
+                held = false;
+            }
+            prop_assert_eq!(spin.is_locked(), held);
+            prop_assert_eq!(ticket.is_locked(), held);
+            if held {
+                prop_assert!(!spin.try_acquire());
+                prop_assert!(!ticket.try_acquire());
+            }
+        }
+        if held {
+            spin.release();
+            ticket.release();
+        }
+    }
+
+    /// RW lock: reader count and writer bit behave like the obvious state
+    /// machine for any sequential schedule.
+    #[test]
+    fn rwlock_state_machine(ops in proptest::collection::vec(0u8..4, 0..40)) {
+        let l = RwLock::new();
+        let mut readers = 0u32;
+        let mut writer = false;
+        for op in ops {
+            match op {
+                0 if !writer => {
+                    // try shared: succeeds iff no writer (no waiters here)
+                    prop_assert!(l.try_acquire_shared());
+                    readers += 1;
+                }
+                1 if readers > 0 => {
+                    l.release_shared();
+                    readers -= 1;
+                }
+                2 if !writer && readers == 0 => {
+                    prop_assert!(l.try_acquire_excl());
+                    writer = true;
+                }
+                3 if writer => {
+                    l.release_excl();
+                    writer = false;
+                }
+                _ => {
+                    // Illegal transition for current state: try-variants
+                    // must refuse where exclusion demands it.
+                    if writer {
+                        prop_assert!(!l.try_acquire_shared());
+                        prop_assert!(!l.try_acquire_excl());
+                    }
+                    if readers > 0 {
+                        prop_assert!(!l.try_acquire_excl());
+                    }
+                }
+            }
+            prop_assert_eq!(l.is_excl_locked(), writer);
+            prop_assert_eq!(l.is_any_locked(), writer || readers > 0);
+            prop_assert_eq!(l.reader_count(), readers as u64);
+        }
+    }
+}

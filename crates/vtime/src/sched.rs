@@ -1,0 +1,575 @@
+//! The deterministic lowest-clock-first lane scheduler.
+//!
+//! A [`Sim`] runs `n` *lanes* (simulated hardware threads). Each lane is a
+//! real OS thread, but the scheduler admits exactly one at a time: the lane
+//! with the lowest virtual clock (ties broken by lane id). A running lane
+//! executes freely — without touching the scheduler lock — until its clock
+//! passes the lowest clock of any parked lane, at which point it hands the
+//! CPU over. This is conservative discrete-event simulation: the committed
+//! event order is identical to a parallel execution in virtual time, and is
+//! bit-for-bit reproducible.
+//!
+//! Lanes must never block on OS primitives (they would park the whole
+//! simulation); every wait in the ALE stack is a spin that calls
+//! [`tick`](crate::tick) each iteration, so waiting lanes keep advancing
+//! their clocks and the scheduler keeps rotating.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::clock::{clear_lane, install_lane, Event};
+use crate::platform::Platform;
+use crate::rng::Rng;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Parked, waiting to be scheduled.
+    Runnable,
+    /// The single lane currently on the (real) CPU.
+    Running,
+    /// Finished its body.
+    Done,
+}
+
+struct SchedState {
+    clocks: Vec<u64>,
+    status: Vec<Status>,
+    live: usize,
+    switches: u64,
+}
+
+pub(crate) struct SimShared {
+    state: Mutex<SchedState>,
+    cvs: Vec<Condvar>,
+    platform: Platform,
+    slack_ns: u64,
+}
+
+/// Per-lane context installed in thread-local storage while the lane runs.
+pub(crate) struct LaneCtx {
+    shared: Arc<SimShared>,
+    id: usize,
+    clock: Cell<u64>,
+    /// The lane may keep running lock-free while `clock <= limit`.
+    limit: Cell<u64>,
+}
+
+impl LaneCtx {
+    #[inline]
+    pub(crate) fn clock(&self) -> u64 {
+        self.clock.get()
+    }
+
+    #[inline]
+    pub(crate) fn id(&self) -> usize {
+        self.id
+    }
+
+    #[inline]
+    pub(crate) fn tick(&self, ev: Event) {
+        let cost = self.shared.platform.costs.cost(ev);
+        let c = self.clock.get().saturating_add(cost);
+        self.clock.set(c);
+        if c > self.limit.get() {
+            self.yield_slow();
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tick_n(&self, ev: Event, n: u64) {
+        let cost = self.shared.platform.costs.cost(ev).saturating_mul(n);
+        let c = self.clock.get().saturating_add(cost);
+        self.clock.set(c);
+        if c > self.limit.get() {
+            self.yield_slow();
+        }
+    }
+
+    /// Lowest clock among *other* runnable lanes, with its id.
+    fn min_runnable_other(state: &SchedState, me: usize) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, (&c, &s)) in state.clocks.iter().zip(state.status.iter()).enumerate() {
+            if i != me && s == Status::Runnable {
+                match best {
+                    Some((_, bc)) if bc <= c => {}
+                    _ => best = Some((i, c)),
+                }
+            }
+        }
+        best
+    }
+
+    #[cold]
+    fn yield_slow(&self) {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock();
+        state.clocks[self.id] = self.clock.get();
+        match Self::min_runnable_other(&state, self.id) {
+            None => {
+                // Alone: run unthrottled.
+                self.limit.set(u64::MAX);
+            }
+            Some((_, mc)) if mc >= self.clock.get() => {
+                // Still the (weakly) lowest clock: raise the horizon.
+                self.limit.set(mc.saturating_add(shared.slack_ns));
+            }
+            Some((m, _)) => {
+                // Hand off to the lane with the lowest clock.
+                state.status[self.id] = Status::Runnable;
+                state.status[m] = Status::Running;
+                state.switches += 1;
+                shared.cvs[m].notify_one();
+                while state.status[self.id] != Status::Running {
+                    shared.cvs[self.id].wait(&mut state);
+                }
+                let horizon = Self::min_runnable_other(&state, self.id)
+                    .map(|(_, c)| c.saturating_add(shared.slack_ns))
+                    .unwrap_or(u64::MAX);
+                self.limit.set(horizon);
+            }
+        }
+    }
+
+    /// Park until the scheduler marks this lane `Running` (start-of-run gate).
+    fn wait_until_scheduled(&self) {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock();
+        while state.status[self.id] != Status::Running {
+            shared.cvs[self.id].wait(&mut state);
+        }
+        let horizon = Self::min_runnable_other(&state, self.id)
+            .map(|(_, c)| c.saturating_add(shared.slack_ns))
+            .unwrap_or(u64::MAX);
+        self.limit.set(horizon);
+    }
+}
+
+/// Runs on scope exit (including unwinds) so a panicking lane still hands
+/// the CPU to the next lane instead of deadlocking the simulation.
+struct FinishGuard {
+    ctx: Rc<LaneCtx>,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        let ctx = &*self.ctx;
+        let shared = &*ctx.shared;
+        let mut state = shared.state.lock();
+        state.clocks[ctx.id] = ctx.clock.get();
+        state.status[ctx.id] = Status::Done;
+        state.live -= 1;
+        if let Some((m, _)) = LaneCtx::min_runnable_other(&state, ctx.id) {
+            state.status[m] = Status::Running;
+            state.switches += 1;
+            shared.cvs[m].notify_one();
+        }
+        drop(state);
+        clear_lane();
+    }
+}
+
+/// Handle given to each lane body: identity, deterministic randomness, and
+/// the platform being simulated.
+pub struct Lane {
+    ctx: Rc<LaneCtx>,
+    rng: Rng,
+}
+
+impl Lane {
+    /// This lane's id in `0..n`.
+    pub fn id(&self) -> usize {
+        self.ctx.id()
+    }
+
+    /// The lane's virtual clock, in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.ctx.clock()
+    }
+
+    /// Deterministic per-lane random stream (seeded from the run seed and
+    /// the lane id).
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// The platform this simulation models.
+    pub fn platform(&self) -> &Platform {
+        &self.ctx.shared.platform
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug)]
+pub struct SimReport<T> {
+    /// Per-lane return values, indexed by lane id.
+    pub results: Vec<T>,
+    /// Virtual makespan: the largest lane clock at completion.
+    pub makespan_ns: u64,
+    /// Final virtual clock of each lane.
+    pub lane_clocks: Vec<u64>,
+    /// Number of lane-to-lane handoffs the scheduler performed.
+    pub switches: u64,
+}
+
+impl<T> SimReport<T> {
+    /// Operations per second in virtual time, given a total operation count.
+    pub fn throughput(&self, total_ops: u64) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        total_ops as f64 * 1e9 / self.makespan_ns as f64
+    }
+}
+
+/// A configured simulation, ready to [`run`](Sim::run).
+pub struct Sim {
+    platform: Platform,
+    n: usize,
+    slack_ns: u64,
+    seed: u64,
+}
+
+impl Sim {
+    /// A simulation of `n` hardware threads of `platform`.
+    ///
+    /// `n` may exceed the platform's logical thread count (the scheduler
+    /// does not model timeslicing); the benchmark harness keeps `n` within
+    /// the machine budget as the paper does.
+    pub fn new(platform: Platform, n: usize) -> Self {
+        assert!(n >= 1, "a simulation needs at least one lane");
+        // SMT sharing: running more lanes than physical cores inflates
+        // per-lane compute costs (see `Platform::occupied_by`).
+        let platform = platform.occupied_by(n as u32);
+        Sim {
+            platform,
+            n,
+            slack_ns: 0,
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Allow a running lane to race ahead of the lowest parked clock by up
+    /// to `ns`. Zero (the default) is exact conservative simulation; small
+    /// positive values trade scheduling fidelity for fewer handoffs.
+    pub fn with_slack(mut self, ns: u64) -> Self {
+        self.slack_ns = ns;
+        self
+    }
+
+    /// Seed for all per-lane random streams (figures fix this for
+    /// reproducibility).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run `body` once per lane and collect the report.
+    ///
+    /// `body` is shared by all lanes; lane-specific state comes from the
+    /// [`Lane`] handle. The closure may borrow from the caller's stack
+    /// (lanes run under `std::thread::scope`).
+    pub fn run<T, F>(self, body: F) -> SimReport<T>
+    where
+        T: Send,
+        F: Fn(&mut Lane) -> T + Sync,
+    {
+        let n = self.n;
+        let shared = Arc::new(SimShared {
+            state: Mutex::new(SchedState {
+                clocks: vec![0; n],
+                status: {
+                    let mut s = vec![Status::Runnable; n];
+                    s[0] = Status::Running; // lane 0 has the lowest (tied) clock
+                    s
+                },
+                live: n,
+                switches: 0,
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+            platform: self.platform,
+            slack_ns: self.slack_ns,
+        });
+
+        let body = &body;
+        let results: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|id| {
+                    let shared = Arc::clone(&shared);
+                    let seed = self.seed;
+                    scope.spawn(move || {
+                        let ctx = Rc::new(LaneCtx {
+                            shared,
+                            id,
+                            clock: Cell::new(0),
+                            limit: Cell::new(0),
+                        });
+                        install_lane(Rc::clone(&ctx));
+                        ctx.wait_until_scheduled();
+                        let _guard = FinishGuard {
+                            ctx: Rc::clone(&ctx),
+                        };
+                        let mut lane = Lane {
+                            ctx,
+                            rng: Rng::new(seed ^ (id as u64).wrapping_mul(0xA24BAED4963EE407)),
+                        };
+                        body(&mut lane)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulated lane panicked"))
+                .collect()
+        });
+
+        let state = shared.state.lock();
+        SimReport {
+            results,
+            makespan_ns: state.clocks.iter().copied().max().unwrap_or(0),
+            lane_clocks: state.clocks.clone(),
+            switches: state.switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{is_simulated, lane_id, now, tick};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn testbed() -> Platform {
+        Platform::testbed()
+    }
+
+    #[test]
+    fn single_lane_runs_and_ticks() {
+        let report = Sim::new(testbed(), 1).run(|lane| {
+            assert!(is_simulated());
+            assert_eq!(lane_id(), Some(0));
+            for _ in 0..10 {
+                tick(Event::LocalWork(100));
+            }
+            (lane.id(), now())
+        });
+        assert_eq!(report.results, vec![(0, 1000)]);
+        assert_eq!(report.makespan_ns, 1000);
+    }
+
+    #[test]
+    fn lanes_overlap_in_virtual_time() {
+        // 8 lanes × 1000 ns of independent work: virtual makespan must be
+        // ~1000 ns (parallel), not ~8000 ns (serial).
+        let report = Sim::new(testbed(), 8).run(|_lane| {
+            for _ in 0..10 {
+                tick(Event::LocalWork(100));
+            }
+        });
+        assert_eq!(report.makespan_ns, 1000);
+        assert!(report.lane_clocks.iter().all(|&c| c == 1000));
+    }
+
+    #[test]
+    fn interleaving_is_deterministic() {
+        // Record the global order of (lane, step) events across two runs.
+        fn trace() -> Vec<(usize, u64)> {
+            let order = Mutex::new(Vec::new());
+            Sim::new(testbed(), 4).run(|lane| {
+                for step in 0..50u64 {
+                    // Uneven costs exercise the scheduler.
+                    tick(Event::LocalWork(10 + (lane.id() as u64) * 7 + step % 3));
+                    order.lock().push((lane.id(), step));
+                }
+            });
+            order.into_inner()
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn lowest_clock_runs_first() {
+        // Lane 1 does tiny steps, lane 0 does huge ones; completions of
+        // lane 1's steps must come before lane 0's clock passes them.
+        let log = Mutex::new(Vec::new());
+        Sim::new(testbed(), 2).run(|lane| {
+            let cost = if lane.id() == 0 { 1000 } else { 10 };
+            for _ in 0..5 {
+                tick(Event::LocalWork(cost));
+                log.lock().push((lane.id(), now()));
+            }
+        });
+        let log = log.into_inner();
+        // Verify global virtual-time order of logged completions is sorted.
+        let times: Vec<u64> = log.iter().map(|&(_, t)| t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            times, sorted,
+            "events must commit in virtual-time order: {log:?}"
+        );
+    }
+
+    #[test]
+    fn shared_counter_sees_all_increments() {
+        let counter = AtomicU64::new(0);
+        let report = Sim::new(testbed(), 16).run(|_| {
+            for _ in 0..100 {
+                tick(Event::Cas);
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1600);
+        assert!(report.switches > 0);
+    }
+
+    #[test]
+    fn throughput_uses_virtual_time() {
+        let report = Sim::new(testbed(), 4).run(|_| {
+            for _ in 0..1000 {
+                tick(Event::LocalWork(1000)); // 1 µs per op
+            }
+        });
+        // 4 lanes × 1000 ops in ~1 ms → ~4M ops/s.
+        let tp = report.throughput(4000);
+        assert!((3.9e6..=4.1e6).contains(&tp), "throughput {tp}");
+    }
+
+    #[test]
+    fn slack_trades_switches_for_speed() {
+        let run = |slack| {
+            Sim::new(testbed(), 8)
+                .with_slack(slack)
+                .run(|_| {
+                    for _ in 0..200 {
+                        tick(Event::LocalWork(25));
+                    }
+                })
+                .switches
+        };
+        let exact = run(0);
+        let relaxed = run(10_000);
+        assert!(
+            relaxed <= exact,
+            "slack must not increase handoffs ({relaxed} vs {exact})"
+        );
+    }
+
+    #[test]
+    fn per_lane_rng_streams_differ_and_reproduce() {
+        let draw = || {
+            Sim::new(testbed(), 4)
+                .with_seed(42)
+                .run(|lane| lane.rng().next_u64())
+                .results
+        };
+        let a = draw();
+        let b = draw();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "lanes must get distinct streams: {a:?}");
+    }
+
+    #[test]
+    fn spin_wait_on_atomic_makes_progress() {
+        // Lane 1 spins until lane 0 sets the flag. Under lowest-clock-first
+        // scheduling the spinner keeps ticking so lane 0 eventually runs.
+        let flag = AtomicU64::new(0);
+        let report = Sim::new(testbed(), 2).run(|lane| {
+            if lane.id() == 0 {
+                for _ in 0..100 {
+                    tick(Event::LocalWork(100));
+                }
+                flag.store(1, Ordering::Release);
+                tick(Event::SharedStore);
+            } else {
+                let mut spins = 0u64;
+                while flag.load(Ordering::Acquire) == 0 {
+                    tick(Event::SharedLoad);
+                    spins += 1;
+                    assert!(spins < 1_000_000, "spinner starved");
+                }
+            }
+        });
+        assert!(report.makespan_ns >= 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = Sim::new(testbed(), 0);
+    }
+}
+
+#[cfg(test)]
+mod panic_tests {
+    use super::*;
+    use crate::clock::{tick, Event};
+    use crate::platform::PlatformKind;
+
+    #[test]
+    fn lane_panic_propagates_without_deadlock() {
+        // A panicking lane must hand the CPU to its peers (FinishGuard) so
+        // the run ends with a propagated panic instead of hanging.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Sim::new(Platform::testbed(), 4).run(|lane| {
+                for _ in 0..20 {
+                    tick(Event::LocalWork(50));
+                }
+                if lane.id() == 2 {
+                    panic!("lane 2 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the panic must propagate to the caller");
+        // And the simulator remains usable afterwards.
+        let r = Sim::new(Platform::testbed(), 2).run(|_| {
+            tick(Event::LocalWork(10));
+        });
+        assert_eq!(r.makespan_ns, 10);
+    }
+
+    #[test]
+    fn tick_n_batches_cost() {
+        let r = Sim::new(Platform::testbed(), 1).run(|_| {
+            crate::clock::tick_n(Event::LocalWork(7), 100);
+            crate::clock::now()
+        });
+        assert_eq!(r.results[0], 700);
+    }
+
+    #[test]
+    fn raw_event_charges_verbatim_on_every_platform() {
+        for kind in [PlatformKind::Rock, PlatformKind::Haswell, PlatformKind::T2] {
+            let r = Sim::new(kind.platform(), 1).run(|_| {
+                tick(Event::Raw(123));
+                crate::clock::now()
+            });
+            assert_eq!(r.results[0], 123, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn smt_penalty_slows_lanes_beyond_core_count() {
+        // 8 lanes of independent work on Haswell (4 cores): virtual time
+        // per lane must exceed the 4-lane case.
+        let work = |n: usize| {
+            Sim::new(Platform::haswell(), n)
+                .run(|_| {
+                    for _ in 0..100 {
+                        tick(Event::LocalWork(100));
+                    }
+                })
+                .makespan_ns
+        };
+        let at4 = work(4);
+        let at8 = work(8);
+        assert_eq!(at4, 10_000, "within cores: nominal cost");
+        assert!(at8 > at4, "SMT sharing must slow per-lane progress: {at8}");
+        assert!(at8 < at4 * 2, "but not to the point of negating SMT: {at8}");
+    }
+}

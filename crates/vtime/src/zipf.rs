@@ -1,0 +1,149 @@
+//! Zipfian key-distribution sampler (the YCSB/Gray construction).
+//!
+//! Lock-elision behaviour is extremely sensitive to key skew: under a
+//! Zipfian workload a few hot keys absorb most operations, so HTM
+//! transactions conflict on the same nodes and SWOpt readers are
+//! invalidated far more often than uniform sampling suggests. The
+//! benchmark harness offers this sampler alongside uniform keys.
+//!
+//! Constants are precomputed at construction (`zeta(n)` is O(n), done
+//! once); sampling is O(1) per draw and deterministic under [`Rng`].
+
+use crate::rng::Rng;
+
+/// A Zipfian distribution over `0..n` where rank 0 is the hottest key.
+///
+/// ```
+/// use ale_vtime::{Rng, Zipf};
+/// let z = Zipf::new(1000, 0.99);
+/// let mut rng = Rng::new(7);
+/// let k = z.sample(&mut rng);
+/// assert!(k < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl Zipf {
+    /// A Zipfian sampler over `0..n` with skew `theta ∈ (0, 1)`.
+    /// `theta ≈ 0.99` is the classic YCSB default (heavy skew);
+    /// `theta → 0` approaches uniform.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n >= 1, "Zipf needs a nonempty key space");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            half_pow_theta: 0.5f64.powf(theta),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw a key (rank 0 = hottest).
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + self.half_pow_theta {
+            return 1.min(self.n - 1);
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(n: u64, theta: f64, draws: usize) -> Vec<u64> {
+        let z = Zipf::new(n, theta);
+        let mut rng = Rng::new(42);
+        let mut freq = vec![0u64; n as usize];
+        for _ in 0..draws {
+            freq[z.sample(&mut rng) as usize] += 1;
+        }
+        freq
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+        // Degenerate single-key space.
+        let z1 = Zipf::new(1, 0.5);
+        assert_eq!(z1.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn hot_keys_dominate_at_high_theta() {
+        let freq = frequencies(1000, 0.99, 100_000);
+        let hot: u64 = freq[..10].iter().sum();
+        // Analytically, P(rank ≤ 10) = ζ(10, 0.99)/ζ(1000, 0.99) ≈ 0.39.
+        assert!(
+            (0.33..0.46).contains(&(hot as f64 / 100_000.0)),
+            "top-1% of keys should draw ~39% of accesses, got {hot}"
+        );
+        // Monotone-ish head: rank 0 beats rank 10 beats rank 100.
+        assert!(freq[0] > freq[10]);
+        assert!(freq[10] > freq[100]);
+    }
+
+    #[test]
+    fn low_theta_approaches_uniform() {
+        let freq = frequencies(100, 0.05, 200_000);
+        let hot: u64 = freq[..10].iter().sum();
+        let share = hot as f64 / 200_000.0;
+        assert!(
+            (0.08..0.25).contains(&share),
+            "top-10% at theta≈0 should take ~10-20% of draws, got {share:.3}"
+        );
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let z = Zipf::new(500, 0.9);
+        let mut a = Rng::new(3);
+        let mut b = Rng::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_theta_one() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the PRNG, cost model, and simulator.
+
+use ale_vtime::{Event, Platform, PlatformKind, Rng, Sim};
+use proptest::prelude::*;
+
+proptest! {
+    /// gen_range never escapes its bound and is seed-deterministic.
+    #[test]
+    fn gen_range_in_bounds(seed in any::<u64>(), n in 1u64..u64::MAX, draws in 1usize..50) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        for _ in 0..draws {
+            let va = a.gen_range(n);
+            prop_assert!(va < n);
+            prop_assert_eq!(va, b.gen_range(n));
+        }
+    }
+
+    /// gen_f64 stays in the unit interval.
+    #[test]
+    fn gen_f64_unit(seed in any::<u64>()) {
+        let mut r = Rng::new(seed);
+        for _ in 0..100 {
+            let f = r.gen_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Shuffle is always a permutation.
+    #[test]
+    fn shuffle_permutes(seed in any::<u64>(), len in 0usize..200) {
+        let mut r = Rng::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Forked streams are deterministic functions of (parent state, tag).
+    #[test]
+    fn fork_is_deterministic(seed in any::<u64>(), tag in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        let mut fa = a.fork(tag);
+        let mut fb = b.fork(tag);
+        for _ in 0..10 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    /// Every event has a finite cost on every platform, and LocalWork
+    /// scales with the platform's speed factor.
+    #[test]
+    fn cost_model_total(ns in 0u64..1_000_000) {
+        for kind in [PlatformKind::Rock, PlatformKind::Haswell, PlatformKind::T2, PlatformKind::Testbed] {
+            let p = kind.platform();
+            let c = p.costs.cost(Event::LocalWork(ns));
+            prop_assert_eq!(c, ns * p.costs.local_work_permille / 1000);
+            for ev in [Event::Cas, Event::SharedLoad, Event::SharedStore, Event::LockHandoff] {
+                prop_assert!(p.costs.cost(ev) > 0);
+            }
+        }
+    }
+
+    /// Independent lanes overlap perfectly: makespan equals the largest
+    /// single-lane demand, for any lane count and (small) step counts.
+    #[test]
+    fn independent_lanes_overlap(lanes in 1usize..9, steps in 1u64..40, cost in 1u64..500) {
+        let report = Sim::new(Platform::testbed(), lanes).run(|_| {
+            for _ in 0..steps {
+                ale_vtime::tick(Event::LocalWork(cost));
+            }
+        });
+        prop_assert_eq!(report.makespan_ns, steps * cost);
+    }
+
+    /// Simulation makespan is deterministic for any seed and lane count,
+    /// even with cross-lane interaction through an atomic.
+    #[test]
+    fn sim_deterministic(lanes in 1usize..7, seed in any::<u64>()) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let run = || {
+            let shared = AtomicU64::new(0);
+            Sim::new(Platform::testbed(), lanes).with_seed(seed).run(|lane| {
+                let mut r = lane.rng().clone();
+                for _ in 0..30 {
+                    ale_vtime::tick(Event::LocalWork(1 + r.gen_range(100)));
+                    shared.fetch_add(1, Ordering::Relaxed);
+                }
+            }).makespan_ns
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,82 @@
+//! Watch the adaptive policy learn (§4.2) and read the library's
+//! statistics report (§3.4).
+//!
+//! ```sh
+//! cargo run --release --example adaptive_report -- [platform]
+//! ```
+//!
+//! Runs a mixed HashMap workload on simulated hardware while printing the
+//! lock's learning stage as it advances through the mode progressions
+//! (Lock → SL → HL → All → custom), then dumps the full per-granule report
+//! and where the policy landed.
+
+use std::sync::Arc;
+
+use ale_core::{AdaptivePolicy, Ale, AleConfig};
+use ale_hashmap::{AleHashMap, MapConfig};
+use ale_vtime::{Platform, PlatformKind, Sim};
+
+fn main() {
+    let platform = std::env::args()
+        .nth(1)
+        .and_then(|s| PlatformKind::parse(&s))
+        .map(|k| k.platform())
+        .unwrap_or_else(Platform::haswell);
+    println!(
+        "Adaptive learning demo on simulated `{}` (8 threads, 20/20/60 mix)\n",
+        platform.kind.name()
+    );
+
+    let ale: Arc<Ale> = Ale::new(
+        AleConfig::new(platform.clone()).with_seed(2024),
+        AdaptivePolicy::new(),
+    );
+    let map: AleHashMap<u64> = AleHashMap::new(&ale, MapConfig::new(4096));
+    for k in (0..16_384u64).step_by(2) {
+        map.insert(k, k);
+    }
+    ale.reset_statistics(); // don't let setup traffic pollute learning
+
+    let threads = 8.min(platform.logical_threads() as usize);
+    let map_ref = &map;
+    let ale_ref = &ale;
+    let mut last_stage = String::new();
+    for round in 0..14 {
+        Sim::new(platform.clone(), threads)
+            .with_seed(round as u64)
+            .with_slack(300)
+            .run(|lane| {
+                let mut rng = lane.rng().clone();
+                for _ in 0..1_000 {
+                    let k = rng.gen_range(16_384);
+                    match rng.gen_range(10) {
+                        0..=1 => {
+                            map_ref.insert(k, k);
+                        }
+                        2..=3 => {
+                            map_ref.remove(k);
+                        }
+                        _ => {
+                            let mut v = 0;
+                            let _ = map_ref.get(k, &mut v);
+                        }
+                    }
+                }
+            });
+        let report = ale_ref.report();
+        let stage = report
+            .lock("tblLock")
+            .map(|l| l.policy.clone())
+            .unwrap_or_default();
+        if stage != last_stage {
+            println!("after {:>6} ops: {stage}", (round + 1) * 1_000 * threads);
+            last_stage = stage.clone();
+        }
+        if stage.starts_with("final") {
+            break;
+        }
+    }
+
+    println!("\n=== final report (§3.4) ===\n");
+    println!("{}", ale.report());
+}

@@ -1,0 +1,69 @@
+//! The paper's HashMap microbenchmark (§3, §5), runnable at the command
+//! line: compare execution-mode configurations across workload mixes and
+//! simulated platforms.
+//!
+//! ```sh
+//! cargo run --release --example hashmap_workloads -- [platform] [threads]
+//! # e.g.
+//! cargo run --release --example hashmap_workloads -- haswell 8
+//! cargo run --release --example hashmap_workloads -- t2 64
+//! ```
+
+use ale_bench::{run_hashmap, HashMapWorkload, Variant};
+use ale_vtime::{Platform, PlatformKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let platform = args
+        .next()
+        .and_then(|s| PlatformKind::parse(&s))
+        .map(|k| k.platform())
+        .unwrap_or_else(Platform::haswell);
+    let threads: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
+        .clamp(1, platform.logical_threads() as usize);
+
+    println!(
+        "HashMap microbenchmark on simulated `{}` ({} threads)\n",
+        platform.kind.name(),
+        threads
+    );
+
+    let key_space = 16 * 1024;
+    let mixes = [
+        HashMapWorkload::read_only(key_space),
+        HashMapWorkload::read_heavy(key_space),
+        HashMapWorkload::mutate_heavy(key_space),
+    ];
+
+    for mix in &mixes {
+        println!("— workload {} (insert/remove/get %) —", mix.label());
+        for variant in Variant::figure_set(&platform) {
+            let r = run_hashmap(
+                platform.clone(),
+                variant,
+                threads,
+                mix,
+                3_000,
+                if variant.is_ale() { 1_000 } else { 100 },
+                7,
+            );
+            let extra = r
+                .report
+                .as_ref()
+                .and_then(|rep| rep.lock("tblLock"))
+                .map(|l| {
+                    let htm: u64 = l.granules.iter().map(|g| g.successes[0]).sum();
+                    let sw: u64 = l.granules.iter().map(|g| g.successes[1]).sum();
+                    let lk: u64 = l.granules.iter().map(|g| g.successes[2]).sum();
+                    format!("   [successes HTM/SWOpt/Lock: {htm}/{sw}/{lk}]")
+                })
+                .unwrap_or_default();
+            println!("  {:<18} {:>8.3} M ops/s{extra}", r.variant, r.mops);
+        }
+        println!();
+    }
+    println!("(Throughput is measured in deterministic virtual time; see DESIGN.md.)");
+}

@@ -1,0 +1,119 @@
+//! Quickstart: protect a tiny data structure with one ALE-enabled lock and
+//! watch the three execution modes in action.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the paper's §3 walkthrough in miniature: a critical section
+//! with a SWOpt path (validated by a `SeqVersion`), a mutating critical
+//! section whose conflicting region is bracketed, and the library report
+//! showing which modes ran.
+
+use ale_repro::prelude::*;
+
+/// A pair of counters whose sum must stay constant — transfers move value
+/// between them. The classic probe for lock-elision correctness.
+struct Accounts {
+    lock: AleLock<SpinLock>,
+    ver: SeqVersion,
+    a: HtmCell<u64>,
+    b: HtmCell<u64>,
+}
+
+impl Accounts {
+    fn new(ale: &std::sync::Arc<Ale>) -> Self {
+        Accounts {
+            lock: ale.new_lock("accounts", SpinLock::new()),
+            ver: SeqVersion::new(),
+            a: HtmCell::new(500),
+            b: HtmCell::new(500),
+        }
+    }
+
+    /// Read-only critical section with a SWOpt path: runs without the lock
+    /// whenever the policy decides optimism pays.
+    fn total(&self) -> u64 {
+        self.lock.cs(
+            scope!("Accounts::total"),
+            CsOptions::new().with_swopt().non_conflicting(),
+            |cs| {
+                if cs.is_swopt() {
+                    // Optimistic: snapshot the version, read, re-validate
+                    // before using anything (§3.2's rule of thumb).
+                    let snap = self.ver.read(true);
+                    let x = self.a.get();
+                    let y = self.b.get();
+                    if !self.ver.validate(snap) {
+                        return CsOutcome::SwOptFail; // interference: retry
+                    }
+                    CsOutcome::Done(x + y)
+                } else {
+                    // HTM or Lock mode: plain reads are already safe.
+                    CsOutcome::Done(self.a.get() + self.b.get())
+                }
+            },
+        )
+    }
+
+    /// Mutating critical section: the write is a *conflicting region* for
+    /// SWOpt readers, so it is bracketed by version bumps — except when
+    /// `COULD_SWOPT_BE_RUNNING` proves nobody could observe it (§3.3).
+    fn transfer(&self, amount: u64) {
+        self.lock
+            .cs_plain(scope!("Accounts::transfer"), CsOptions::new(), |cs| {
+                let x = self.a.get();
+                if x < amount {
+                    return;
+                }
+                let y = self.b.get();
+                let bump = cs.could_swopt_be_running();
+                if bump {
+                    self.ver.begin_conflicting_action();
+                }
+                self.a.set(x - amount);
+                self.b.set(y + amount);
+                if bump {
+                    self.ver.end_conflicting_action();
+                }
+            });
+    }
+}
+
+fn main() {
+    // A simulated 8-thread Haswell with Intel-TSX-style HTM. Swap in
+    // Platform::t2() to see the library cope without HTM at all.
+    let platform = Platform::haswell();
+
+    // Static policy: up to 3 HTM attempts, then up to 8 SWOpt attempts,
+    // then take the lock. (Try AdaptivePolicy::new() instead!)
+    let ale = Ale::new(AleConfig::new(platform.clone()), StaticPolicy::new(3, 8));
+    let accounts = Accounts::new(&ale);
+
+    // Run 4 simulated threads: one mutator, three readers.
+    let report = Sim::new(platform, 4).with_seed(42).run(|lane| {
+        if lane.id() == 0 {
+            for _ in 0..2_000 {
+                accounts.transfer(1);
+            }
+        } else {
+            for _ in 0..2_000 {
+                assert_eq!(accounts.total(), 1000, "sum invariant violated!");
+            }
+        }
+    });
+
+    println!(
+        "simulated makespan: {:.3} ms (virtual time)",
+        report.makespan_ns as f64 / 1e6
+    );
+    println!(
+        "throughput: {:.2} M ops/s across 4 simulated threads\n",
+        report.throughput(8_000) / 1e6
+    );
+    println!("{}", ale.report());
+    println!("Things to try:");
+    println!("  * AdaptivePolicy::new() instead of the static policy");
+    println!("  * Platform::t2() (no HTM) or Platform::rock() (fragile HTM)");
+    println!("  * AleConfig::new(..).without_swopt() to see pure TLE");
+}

@@ -1,0 +1,37 @@
+//! # ale-repro — Adaptive Lock Elision (SPAA 2014), reproduced in Rust
+//!
+//! Umbrella crate for the reproduction of Dice, Kogan, Lev, Merrifield,
+//! and Moir: *Adaptive Integration of Hardware and Software Lock Elision
+//! Techniques* (SPAA 2014). It re-exports the workspace crates:
+//!
+//! * [`core`](ale_core) — the ALE library: HTM / SWOpt / Lock execution
+//!   modes, per-(lock, context) statistics, static & adaptive policies.
+//! * [`htm`](ale_htm) — software-emulated best-effort hardware
+//!   transactional memory (the paper's hardware substitute).
+//! * [`sync`](ale_sync) — locks, seqlocks, SNZI, BFP statistical counters,
+//!   sampled timing.
+//! * [`vtime`](ale_vtime) — the deterministic virtual-time simulator and
+//!   platform profiles (Rock / Haswell / T2-2).
+//! * [`hashmap`](ale_hashmap) — the paper's HashMap running example.
+//! * [`kyoto`](ale_kyoto) — the Kyoto Cabinet-style benchmark substrate.
+//!
+//! Start with `examples/quickstart.rs`, then see DESIGN.md for the system
+//! inventory and EXPERIMENTS.md for the paper-vs-measured results.
+
+pub use ale_core as core;
+pub use ale_hashmap as hashmap;
+pub use ale_htm as htm;
+pub use ale_kyoto as kyoto;
+pub use ale_sync as sync;
+pub use ale_vtime as vtime;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use ale_core::{
+        scope, AdaptivePolicy, Ale, AleConfig, AleLock, AleRwLock, CsCtx, CsOptions, CsOutcome,
+        ExecMode, Policy, StaticPolicy,
+    };
+    pub use ale_htm::HtmCell;
+    pub use ale_sync::{RawLock, RawRwLock, RwLock, SeqVersion, SpinLock};
+    pub use ale_vtime::{Platform, Rng, Sim};
+}

@@ -1,0 +1,133 @@
+//! Whole-system integration: several ALE-enabled structures sharing one
+//! library instance and one simulation, with nesting across them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ale_hashmap::{AleHashMap, MapConfig};
+use ale_kyoto::{AleCacheDb, DbConfig, KyotoDb};
+use ale_repro::prelude::*;
+
+#[test]
+fn hashmap_and_cachedb_share_one_library() {
+    let platform = Platform::haswell();
+    let ale: Arc<Ale> = Ale::new(
+        AleConfig::new(platform.clone()).with_seed(5),
+        StaticPolicy::new(3, 8),
+    );
+    let map: AleHashMap<u64> = AleHashMap::new(&ale, MapConfig::new(128));
+    let db = AleCacheDb::new(
+        &ale,
+        DbConfig {
+            buckets_per_slot: 64,
+            capacity_per_slot: 4096,
+            payload_cells: 0,
+        },
+    );
+    let (map, db) = (&map, &db);
+
+    let checks = AtomicU64::new(0);
+    Sim::new(platform, 6).with_seed(6).run(|lane| {
+        let mut rng = lane.rng().clone();
+        for _ in 0..400 {
+            let k = rng.gen_range(256);
+            match rng.gen_range(6) {
+                0 => {
+                    // Cross-structure "transaction-of-operations": keep the
+                    // map and db in sync for key k (not atomic across
+                    // structures — each op is individually linearizable).
+                    map.insert(k, k * 3);
+                    db.set(k, k * 3);
+                }
+                1 => {
+                    map.remove(k);
+                    db.remove(k);
+                }
+                _ => {
+                    let mut v = 0;
+                    if map.get(k, &mut v) {
+                        assert_eq!(v, k * 3);
+                        checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(v) = db.get(k) {
+                        assert_eq!(v, k * 3);
+                    }
+                }
+            }
+        }
+    });
+    assert!(checks.load(Ordering::Relaxed) > 0);
+
+    // One report covers every lock: tblLock, mlock, and the 16 slot locks.
+    let report = ale.report();
+    assert!(report.lock("tblLock").is_some());
+    assert!(report.lock("mlock").is_some());
+    assert!(report.lock("slot00").is_some());
+    let rendered = report.to_string();
+    assert!(rendered.contains("HashMap::get"));
+    assert!(rendered.contains("CacheDb::get"));
+}
+
+#[test]
+fn cross_lock_nesting_composes() {
+    // A critical section on lock A nests a HashMap op (lock B) — exercising
+    // cross-lock nesting through a real data structure.
+    let platform = Platform::testbed();
+    let ale: Arc<Ale> = Ale::new(
+        AleConfig::new(platform.clone()).with_seed(8),
+        StaticPolicy::new(3, 8),
+    );
+    let outer = ale.new_lock("journal", SpinLock::new());
+    let map: AleHashMap<u64> = AleHashMap::new(&ale, MapConfig::new(64));
+    let journal_len = HtmCell::new(0u64);
+    let (outer, map, journal_len) = (&outer, &map, &journal_len);
+
+    Sim::new(platform, 4).with_seed(9).run(|lane| {
+        let mut rng = lane.rng().clone();
+        for _ in 0..250 {
+            let k = rng.gen_range(128);
+            outer.cs_plain(scope!("journal::append"), CsOptions::new(), |_| {
+                // Nested: if the outer ran in HTM mode this flattens into
+                // the same transaction; in Lock mode it elides separately.
+                map.insert(k, k + 1);
+                journal_len.set(journal_len.get() + 1);
+            });
+        }
+    });
+    assert_eq!(journal_len.get(), 4 * 250);
+    let mut v = 0;
+    for k in 0..128 {
+        if map.get(k, &mut v) {
+            assert_eq!(v, k + 1);
+        }
+    }
+    // The outer lock's granule recorded the executions.
+    let report = ale.report();
+    assert_eq!(report.lock("journal").unwrap().total_executions(), 1000);
+}
+
+#[test]
+fn report_csv_roundtrip_for_full_stack() {
+    let platform = Platform::t2();
+    let ale: Arc<Ale> = Ale::new(
+        AleConfig::new(platform).with_seed(3),
+        StaticPolicy::new(0, 8),
+    );
+    let map: AleHashMap<u64> = AleHashMap::new(&ale, MapConfig::new(64));
+    for k in 0..100 {
+        map.insert(k, k);
+    }
+    let mut v = 0;
+    for k in 0..200 {
+        let _ = map.get(k, &mut v);
+    }
+    let csv = ale.report().to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert!(lines[0].starts_with("lock,context"));
+    assert!(lines.len() >= 3, "{csv}");
+    // Every data row has the same number of fields as the header.
+    let fields = lines[0].split(',').count();
+    for l in &lines[1..] {
+        assert_eq!(l.split(',').count(), fields, "ragged CSV row: {l}");
+    }
+}
