@@ -250,7 +250,7 @@ pub(crate) fn run_cs<T, O: LockOps + ?Sized>(
     let measure = plan.measure || rng.next_u32() & 31 == 0;
     let exec_start = measure.then(now);
 
-    let mut rec = ExecRecord::default();
+    let mut rec = ExecRecord::new();
     let value = run_protocol(
         ale,
         meta,

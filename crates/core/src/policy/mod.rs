@@ -95,6 +95,32 @@ pub struct ExecRecord {
     pub fallback_ns: Option<u64>,
 }
 
+impl ExecRecord {
+    /// A blank record, to be filled in as the execution progresses. The
+    /// result must reach [`Policy::on_complete`]; a dropped record means a
+    /// whole execution goes unobserved by the adaptive policy.
+    #[must_use = "an unrecorded execution is invisible to the policy"]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A record for an execution that succeeded immediately in `mode` with
+    /// no failed attempts (used by tests and simple fast paths).
+    #[must_use = "an unrecorded execution is invisible to the policy"]
+    pub fn succeeded_in(mode: ExecMode) -> Self {
+        let mut rec = Self {
+            mode: Some(mode),
+            ..Self::default()
+        };
+        match mode {
+            ExecMode::Htm => rec.htm_attempts = 1,
+            ExecMode::SwOpt => rec.swopt_attempts = 1,
+            ExecMode::Lock => {}
+        }
+        rec
+    }
+}
+
 /// A mode-selection policy. Implementations must be cheap in `plan` — it
 /// runs on every critical-section execution.
 pub trait Policy: Send + Sync + 'static {

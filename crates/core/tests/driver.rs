@@ -759,7 +759,9 @@ fn custom_phase_keeps_heterogeneous_per_granule_choices() {
     platform.htm.as_mut().unwrap().max_write_set = 4;
     let probe = AdaptivePolicy::new();
     let ale = Ale::new(
-        AleConfig::new(platform.clone()).with_seed(51).without_swopt(),
+        AleConfig::new(platform.clone())
+            .with_seed(51)
+            .without_swopt(),
         AdaptivePolicy::with_config(AdaptiveConfig {
             phase_len: 300,
             sub_lens: [120, 180, 120],
@@ -839,6 +841,9 @@ fn report_records_time_spent_per_mode() {
     let swopt_share = g.time_share(ExecMode::SwOpt).expect("time recorded");
     let lock_share = g.time_share(ExecMode::Lock).unwrap_or(0.0);
     assert!(swopt_share > 0.0, "{report}");
-    assert!((swopt_share + lock_share - 1.0).abs() < 1e-9, "HTM never ran: {report}");
+    assert!(
+        (swopt_share + lock_share - 1.0).abs() < 1e-9,
+        "HTM never ran: {report}"
+    );
     assert!(report.to_string().contains("time share"), "{report}");
 }

@@ -114,6 +114,7 @@ impl<V: Copy + Default + Send + 'static> AleHashMap<V> {
     /// The paper's Figure 1: one source, two instantiations. Returns 1 if
     /// found (value copied to `ret_val`), 0 if absent, -1 on SWOpt
     /// interference.
+    // ale-lint: swopt
     fn get_impl<const SWOPT: bool>(&self, key: u64, ret_val: &mut V) -> i32 {
         let idx = self.bucket_of(key);
         let ver = self.ver_of(idx);

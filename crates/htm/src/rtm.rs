@@ -39,6 +39,10 @@ pub fn rtm_supported() -> bool {
     std::arch::is_x86_feature_detected!("rtm")
 }
 
+/// # Safety
+/// Requires RTM support (check [`rtm_supported`]; `xbegin` is #UD without
+/// TSX). A `STARTED` return must be paired with exactly one [`xend`] on
+/// the commit path, with no syscall/fault/pause before it.
 #[inline(always)]
 unsafe fn xbegin() -> u32 {
     let mut status: u32 = STARTED;
@@ -52,6 +56,10 @@ unsafe fn xbegin() -> u32 {
     status
 }
 
+/// # Safety
+///
+/// Must only execute inside a transaction begun by [`xbegin`]; `xend`
+/// outside one raises #GP. Requires RTM support.
 #[inline(always)]
 unsafe fn xend() {
     core::arch::asm!("xend", options(nostack));
@@ -59,6 +67,11 @@ unsafe fn xend() {
 
 /// Explicitly abort the current hardware transaction with an 8-bit code.
 /// No-op (well, #UD-safe: RTM ignores xabort outside a transaction).
+///
+/// # Safety
+///
+/// Requires RTM support — the instruction itself is #UD on non-TSX CPUs
+/// even though it is architecturally a no-op outside a transaction.
 #[inline(always)]
 pub unsafe fn xabort<const CODE: u8>() {
     core::arch::asm!("xabort {}", const CODE, options(nostack));

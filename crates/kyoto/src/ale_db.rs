@@ -109,6 +109,7 @@ impl AleCacheDb {
 
     /// Optimistic slot search for the external SWOpt path. Returns
     /// `Err(())` on interference, `Ok(hit)` otherwise.
+    // ale-lint: swopt
     fn optimistic_search(&self, slot: &Slot, key: u64) -> Result<bool, ()> {
         let v = slot.ver.read(true);
         let idx = slot.bucket_of(key);

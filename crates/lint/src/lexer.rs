@@ -1,0 +1,475 @@
+//! A small hand-rolled Rust lexer: just enough syntax awareness for the
+//! lint rules to reason about *code* without being fooled by comments,
+//! string literals, or char-vs-lifetime ambiguity.
+//!
+//! The output is line-oriented:
+//! - `masked`: the source with every comment and every string/char literal
+//!   body replaced by spaces (same length, same line structure), so token
+//!   scans see only real code;
+//! - `comments`: the concatenated comment text per line, so rules can look
+//!   for `// SAFETY:`, `// ale-lint: allow(..)`, and marker comments.
+
+/// Per-file lexed view consumed by the rules.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Original source, split into lines.
+    pub raw: Vec<String>,
+    /// Source with comments and literal bodies blanked to spaces.
+    pub masked: Vec<String>,
+    /// Comment text per line (all comments on that line, concatenated).
+    pub comments: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Punct,
+}
+
+/// One token of masked code. `Ident` covers identifier/number runs;
+/// every other non-whitespace char is a single-char `Punct`.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 0-based line index.
+    pub line: usize,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* */`.
+    BlockComment(u32),
+    Str,
+    /// Number of `#`s in the `r#"..."#` delimiter.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Lex `src` into the line-oriented [`FileModel`].
+pub fn analyze(src: &str) -> FileModel {
+    let chars: Vec<char> = src.chars().collect();
+    let mut masked = String::with_capacity(src.len());
+    let mut comments_acc: Vec<String> = vec![String::new()];
+    let mut line = 0usize;
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! newline {
+        () => {{
+            masked.push('\n');
+            line += 1;
+            comments_acc.push(String::new());
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '\n' => {
+                    newline!();
+                    i += 1;
+                }
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    masked.push_str("  ");
+                    comments_acc[line].push_str("//");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    masked.push_str("  ");
+                    comments_acc[line].push_str("/*");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    masked.push('"');
+                    i += 1;
+                }
+                'r' if is_raw_string_start(&chars, i) => {
+                    let hashes = count_hashes(&chars, i + 1);
+                    state = State::RawStr(hashes);
+                    masked.push('r');
+                    for _ in 0..hashes {
+                        masked.push('#');
+                    }
+                    masked.push('"');
+                    i += 2 + hashes as usize;
+                }
+                '\'' => {
+                    // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+                    if next == Some('\\') {
+                        state = State::CharLit;
+                        masked.push('\'');
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        // 'x' — a one-char literal.
+                        masked.push_str("'x'");
+                        i += 3;
+                    } else {
+                        // Lifetime: keep the tick, let the ident lex normally.
+                        masked.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    masked.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    newline!();
+                } else {
+                    masked.push(' ');
+                    comments_acc[line].push(c);
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    newline!();
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    comments_acc[line].push_str("*/");
+                    masked.push_str("  ");
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && next == Some('*') {
+                    comments_acc[line].push_str("/*");
+                    masked.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    comments_acc[line].push(c);
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    masked.push_str("  ");
+                    i += 2;
+                    if next == Some('\n') {
+                        // Escaped newline inside a string still ends the
+                        // physical line.
+                        masked.pop();
+                        masked.pop();
+                        masked.push(' ');
+                        newline!();
+                    }
+                } else if c == '"' {
+                    masked.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else if c == '\n' {
+                    newline!();
+                    i += 1;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closing_hashes(&chars, i + 1) >= hashes {
+                    masked.push('"');
+                    for _ in 0..hashes {
+                        masked.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else if c == '\n' {
+                    newline!();
+                    i += 1;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    masked.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    masked.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else if c == '\n' {
+                    // Malformed literal; recover.
+                    state = State::Code;
+                    newline!();
+                    i += 1;
+                } else {
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let raw: Vec<String> = src.lines().map(String::from).collect();
+    let mut masked_lines: Vec<String> = masked.lines().map(String::from).collect();
+    // `String::lines` drops a trailing newline-less segment mismatch; pad so
+    // the three views always have the same number of lines.
+    while masked_lines.len() < raw.len() {
+        masked_lines.push(String::new());
+    }
+    while comments_acc.len() < raw.len() {
+        comments_acc.push(String::new());
+    }
+    comments_acc.truncate(raw.len().max(1));
+    masked_lines.truncate(raw.len());
+
+    FileModel {
+        raw,
+        masked: masked_lines,
+        comments: comments_acc,
+    }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r"..."` or `r#"..."#`, not the tail of an identifier like `var`.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn closing_hashes(chars: &[char], mut i: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(i) == Some(&'#') {
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Tokenize the masked code into identifier runs and single-char puncts.
+pub fn tokens(model: &FileModel) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (line_no, line) in model.masked.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                });
+            } else {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: line_no,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Index of the token matching the opening delimiter at `open_idx`
+/// (`{`/`}` or `(`/`)`). Returns the last token index if unbalanced.
+pub fn match_delim(toks: &[Tok], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// A function item extent within the token stream.
+#[derive(Debug, Clone)]
+pub struct FnExtent {
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the matching `}`.
+    pub body_close: usize,
+}
+
+/// All `fn name(..) { .. }` extents (including nested ones).
+pub fn functions(toks: &[Tok]) -> Vec<FnExtent> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some(name_tok) = toks.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    // Find the body `{`; a `;` first means a bodyless decl
+                    // (trait method, extern).
+                    let mut j = i + 2;
+                    let mut body_open = None;
+                    while j < toks.len() {
+                        if toks[j].is_punct('{') {
+                            body_open = Some(j);
+                            break;
+                        }
+                        if toks[j].is_punct(';') {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = body_open {
+                        let close = match_delim(toks, open, '{', '}');
+                        out.push(FnExtent {
+                            name: name_tok.text.clone(),
+                            sig_line: toks[i].line,
+                            body_open: open,
+                            body_close: close,
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Token-index ranges covered by `#[cfg(test)] mod .. { .. }` items.
+pub fn cfg_test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_ident("cfg")
+            && toks[i + 3].is_punct('(')
+            && toks[i + 4].is_ident("test")
+            && toks[i + 5].is_punct(')')
+            && toks[i + 6].is_punct(']');
+        if is_cfg_test {
+            // Find the guarded item's opening brace (mod or fn).
+            let mut j = i + 7;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let close = match_delim(toks, j, '{', '}');
+                out.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let src = r#"
+// SAFETY: top
+let s = "unsafe in a string";
+let c = 'u'; // trailing unsafe note
+/* block
+   unsafe */
+let lt: &'static str = "x";
+"#;
+        let m = analyze(src);
+        let joined = m.masked.join("\n");
+        assert!(!joined.contains("unsafe"), "masked: {joined}");
+        assert!(m.comments[1].contains("SAFETY: top"));
+        assert!(m.comments[3].contains("trailing unsafe note"));
+        assert!(m.comments[5].contains("unsafe"));
+        // Lifetime survives as code.
+        assert!(m.masked[6].contains("static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ still comment */ fn x() {}";
+        let m = analyze(src);
+        assert!(m.masked[0].contains("fn x"));
+        assert!(!m.masked[0].contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_are_masked() {
+        let src = r###"let x = r#"unsafe "quoted" body"#; fn y() {}"###;
+        let m = analyze(src);
+        assert!(!m.masked[0].contains("unsafe"));
+        assert!(m.masked[0].contains("fn y"));
+    }
+
+    #[test]
+    fn function_extents_and_cfg_test() {
+        let src = "
+fn alpha() { if x { y(); } }
+#[cfg(test)]
+mod tests {
+    fn beta() {}
+}
+";
+        let m = analyze(src);
+        let toks = tokens(&m);
+        let fns = functions(&toks);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        let ranges = cfg_test_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let beta = &fns[1];
+        assert!(
+            ranges[0].0 <= beta.body_open && beta.body_close <= ranges[0].1,
+            "beta should fall inside the cfg(test) range"
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! The five elision-safety rules.
+//!
+//! | rule id | invariant |
+//! |---------|-----------|
+//! | `safety-comment` | every `unsafe` is annotated with `// SAFETY:` (or a `# Safety` doc section) within the five preceding lines |
+//! | `conflicting-region-balance` | `begin_conflicting_action` / `end_conflicting_action` pair up within one function, with no `return` / `?` / `break` escaping the open region |
+//! | `swopt-purity` | SWOpt (optimistic) read paths perform no writes — `store(` / `fetch_*` / `get_mut` / `lock()` — outside a conflicting-region bracket |
+//! | `htm-body-hygiene` | code passed to the HTM engine avoids `Box::new`, `Vec::push`, `println!`, `panic!`, `.unwrap()`, `.expect()` (allocation / IO / unwinding abort transactions or leak) |
+//! | `ordering-discipline` | `Ordering::Relaxed` is forbidden on stores to lock words and version/publication fields |
+
+use crate::lexer::{match_delim, FileModel, FnExtent, Tok, TokKind};
+use crate::Finding;
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    pub model: &'a FileModel,
+    pub toks: &'a [Tok],
+    pub fns: &'a [FnExtent],
+    /// Token-index ranges under `#[cfg(test)]`.
+    pub test_ranges: &'a [(usize, usize)],
+    /// True for files under a crate's `src/` (as opposed to `tests/`).
+    pub is_src: bool,
+}
+
+impl FileCtx<'_> {
+    fn in_test_code(&self, tok_idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= tok_idx && tok_idx <= b)
+    }
+
+    fn finding(&self, rule: &'static str, line0: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.path.to_string(),
+            line: line0 + 1,
+            message,
+            line_content: self
+                .model
+                .raw
+                .get(line0)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Does any comment in `[line0 - back, line0]` contain `needle`?
+    fn comment_nearby(&self, line0: usize, back: usize, needle: &str) -> bool {
+        let lo = line0.saturating_sub(back);
+        self.model.comments[lo..=line0.min(self.model.comments.len() - 1)]
+            .iter()
+            .any(|c| c.contains(needle))
+    }
+}
+
+/// All rule IDs, in reporting order.
+pub const RULE_IDS: [&str; 5] = [
+    "safety-comment",
+    "conflicting-region-balance",
+    "swopt-purity",
+    "htm-body-hygiene",
+    "ordering-discipline",
+];
+
+pub fn check_all(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(safety_comment(ctx));
+    out.extend(region_balance(ctx));
+    out.extend(swopt_purity(ctx));
+    out.extend(htm_body_hygiene(ctx));
+    out.extend(ordering_discipline(ctx));
+    out
+}
+
+/// `safety-comment`: each `unsafe` keyword must have a `SAFETY:` comment or
+/// a `# Safety` doc section within the five preceding lines (or inline).
+fn safety_comment(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in ctx.toks {
+        if t.is_ident("unsafe") {
+            let l = t.line;
+            if !ctx.comment_nearby(l, 5, "SAFETY:") && !ctx.comment_nearby(l, 5, "# Safety") {
+                out.push(
+                    ctx.finding(
+                        "safety-comment",
+                        l,
+                        "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section) \
+                     within the five preceding lines"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Is the token at `i` a *call* of `name` (not its `fn` definition)?
+fn is_call_of(toks: &[Tok], i: usize, name: &str) -> bool {
+    if !toks[i].is_ident(name) {
+        return false;
+    }
+    if i > 0 && toks[i - 1].is_ident("fn") {
+        return false;
+    }
+    toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+}
+
+/// `conflicting-region-balance`: per function, `begin_conflicting_action`
+/// and `end_conflicting_action` must pair up, and no `return` / `?` /
+/// `break` may occur while a region is open.
+fn region_balance(ctx: &FileCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in ctx.fns {
+        let mut depth = 0i64;
+        let mut open_line = 0usize;
+        for i in f.body_open..=f.body_close.min(ctx.toks.len() - 1) {
+            let t = &ctx.toks[i];
+            if is_call_of(ctx.toks, i, "begin_conflicting_action") {
+                if depth == 0 {
+                    open_line = t.line;
+                }
+                depth += 1;
+            } else if is_call_of(ctx.toks, i, "end_conflicting_action") {
+                depth -= 1;
+                if depth < 0 {
+                    out.push(ctx.finding(
+                        "conflicting-region-balance",
+                        t.line,
+                        format!(
+                            "`end_conflicting_action` without a matching begin in `{}`",
+                            f.name
+                        ),
+                    ));
+                    depth = 0;
+                }
+            } else if depth > 0 {
+                let escapes = t.is_ident("return")
+                    || t.is_ident("break")
+                    || (t.is_punct('?')
+                        && !ctx.toks.get(i + 1).is_some_and(|n| n.is_ident("Sized")));
+                if escapes {
+                    out.push(ctx.finding(
+                        "conflicting-region-balance",
+                        t.line,
+                        format!(
+                            "`{}` escapes an open conflicting region in `{}` \
+                             (the version word would stay odd forever)",
+                            t.text, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+        if depth > 0 {
+            out.push(ctx.finding(
+                "conflicting-region-balance",
+                open_line,
+                format!(
+                    "`begin_conflicting_action` in `{}` has no matching \
+                     `end_conflicting_action`",
+                    f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Functions this file treats as SWOpt (optimistic) read paths: opted in
+/// with the `swopt` marker comment (see the crate docs for the exact
+/// spelling — writing it out here would mark *this* function), or — in the
+/// two modules the paper's Figure 1 models — auto-detected by name.
+fn swopt_fns<'a>(ctx: &'a FileCtx) -> Vec<&'a FnExtent> {
+    let auto_detect_file =
+        ctx.path.ends_with("hashmap/src/map.rs") || ctx.path.ends_with("kyoto/src/ale_db.rs");
+    ctx.fns
+        .iter()
+        .filter(|f| {
+            let marked = ctx.comment_nearby(f.sig_line, 5, "ale-lint: swopt");
+            let named =
+                auto_detect_file && (f.name.contains("swopt") || f.name.contains("optimistic"));
+            marked || named
+        })
+        .collect()
+}
+
+/// `swopt-purity`: SWOpt paths must not write shared state outside a
+/// conflicting-region bracket.
+fn swopt_purity(ctx: &FileCtx) -> Vec<Finding> {
+    if !ctx.is_src {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in swopt_fns(ctx) {
+        if ctx.in_test_code(f.body_open) {
+            continue;
+        }
+        let mut depth = 0i64;
+        for i in f.body_open..=f.body_close.min(ctx.toks.len() - 1) {
+            let t = &ctx.toks[i];
+            if is_call_of(ctx.toks, i, "begin_conflicting_action") {
+                depth += 1;
+            } else if is_call_of(ctx.toks, i, "end_conflicting_action") {
+                depth = (depth - 1).max(0);
+            } else if depth == 0 && t.kind == TokKind::Ident {
+                let next_is_call = ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                let impure = (t.text == "store" && next_is_call)
+                    || t.text.starts_with("fetch_")
+                    || (t.text == "get_mut" && next_is_call)
+                    || (t.text == "lock"
+                        && next_is_call
+                        && i > 0
+                        && !ctx.toks[i - 1].is_ident("fn"));
+                if impure {
+                    out.push(ctx.finding(
+                        "swopt-purity",
+                        t.line,
+                        format!(
+                            "SWOpt path `{}` performs a write/lock (`{}`) outside a \
+                             conflicting-region bracket",
+                            f.name, t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `htm-body-hygiene`: code passed to the HTM engine (closure arguments of
+/// `attempt(..)` / `attempt_rtm(..)`, plus functions opted in with the
+/// `htm-body` marker comment) must avoid allocation, IO, and unwinding.
+fn htm_body_hygiene(ctx: &FileCtx) -> Vec<Finding> {
+    if !ctx.is_src {
+        return Vec::new();
+    }
+    let mut extents: Vec<(usize, usize, String)> = Vec::new();
+    for i in 0..ctx.toks.len() {
+        if (is_call_of(ctx.toks, i, "attempt") || is_call_of(ctx.toks, i, "attempt_rtm"))
+            && !ctx.in_test_code(i)
+        {
+            let close = match_delim(ctx.toks, i + 1, '(', ')');
+            extents.push((i + 1, close, format!("{}(..)", ctx.toks[i].text)));
+        }
+    }
+    for f in ctx.fns {
+        if ctx.comment_nearby(f.sig_line, 5, "ale-lint: htm-body") && !ctx.in_test_code(f.body_open)
+        {
+            extents.push((f.body_open, f.body_close, format!("fn {}", f.name)));
+        }
+    }
+
+    let mut out = Vec::new();
+    for (start, end, what) in extents {
+        for i in start..=end.min(ctx.toks.len() - 1) {
+            let t = &ctx.toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let prev_dot = i > 0 && ctx.toks[i - 1].is_punct('.');
+            let next_bang = ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let box_new = t.text == "Box"
+                && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && ctx.toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && ctx.toks.get(i + 3).is_some_and(|n| n.is_ident("new"));
+            let bad = box_new
+                || (prev_dot && matches!(t.text.as_str(), "push" | "unwrap" | "expect"))
+                || (next_bang && matches!(t.text.as_str(), "println" | "panic" | "vec"));
+            if bad {
+                out.push(ctx.finding(
+                    "htm-body-hygiene",
+                    t.line,
+                    format!(
+                        "`{}` inside HTM-executed code ({what}): allocation/IO/unwinding \
+                         aborts hardware transactions or leaks on abort",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Receiver names that denote lock words or version/publication fields.
+fn is_publication_field(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    matches!(
+        lower.as_str(),
+        "meta" | "locked" | "lock" | "seq" | "ver" | "version" | "vclock" | "v"
+    ) || lower.contains("vclock")
+        || lower.ends_with("_lock")
+        || lower.ends_with("version")
+}
+
+/// `ordering-discipline`: no `Ordering::Relaxed` on stores to lock words or
+/// version/publication fields. Statistics counters (`counters.rs`) are
+/// exempt wholesale.
+fn ordering_discipline(ctx: &FileCtx) -> Vec<Finding> {
+    if !ctx.is_src || ctx.path.ends_with("sync/src/counters.rs") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 1..ctx.toks.len() {
+        let t = &ctx.toks[i];
+        if !(t.is_ident("store")
+            && ctx.toks[i - 1].is_punct('.')
+            && ctx.toks.get(i + 1).is_some_and(|n| n.is_punct('(')))
+        {
+            continue;
+        }
+        if ctx.in_test_code(i) {
+            continue;
+        }
+        let receiver = if i >= 2 && ctx.toks[i - 2].kind == TokKind::Ident {
+            ctx.toks[i - 2].text.as_str()
+        } else {
+            continue;
+        };
+        if !is_publication_field(receiver) {
+            continue;
+        }
+        let close = match_delim(ctx.toks, i + 1, '(', ')');
+        let relaxed = ctx.toks[i + 1..=close.min(ctx.toks.len() - 1)]
+            .iter()
+            .any(|a| a.is_ident("Relaxed"));
+        if relaxed {
+            out.push(ctx.finding(
+                "ordering-discipline",
+                t.line,
+                format!(
+                    "`Ordering::Relaxed` store to publication field `{receiver}`: \
+                     lock words and version fields must publish with Release (or stronger)"
+                ),
+            ));
+        }
+    }
+    out
+}

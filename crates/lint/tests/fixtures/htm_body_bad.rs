@@ -1,0 +1,19 @@
+//! Fixture: transaction bodies doing transaction-hostile things. Expect
+//! six `htm-body-hygiene` findings: `Box::new`, `.push(`, `println!`,
+//! `panic!`, `.unwrap()`, `.expect()`.
+
+pub fn dirty_transaction(profile: &HtmProfile, rng: &mut Rng, log: &mut Vec<u64>) {
+    let _ = attempt(profile, rng, || {
+        let boxed = Box::new(1u64);
+        log.push(*boxed);
+        println!("inside a hardware transaction");
+    });
+}
+
+// ale-lint: htm-body
+pub fn panicky_helper(v: Option<u64>, r: Result<u64, ()>) -> u64 {
+    if v.is_none() {
+        panic!("no value");
+    }
+    v.unwrap() + r.expect("engine invariant")
+}

@@ -1,0 +1,23 @@
+//! Fixture: transaction bodies that stay allocation-, IO-, and
+//! panic-free. Expect zero `htm-body-hygiene` findings.
+
+pub fn clean_transaction(profile: &HtmProfile, rng: &mut Rng, cell: &HtmCell) {
+    let _ = attempt(profile, rng, || {
+        let v = cell.get();
+        cell.set(v + 1);
+    });
+}
+
+// ale-lint: htm-body
+pub fn marked_helper(cell: &HtmCell) -> u64 {
+    cell.get().wrapping_add(1)
+}
+
+// The function below is deliberately *not* marked: code outside any
+// transaction body may allocate freely. (These filler lines also keep it
+// out of the marker-detection window of the helper above.)
+pub fn unmarked_code_may_allocate() -> Box<u64> {
+    let mut v = Vec::new();
+    v.push(1u64);
+    Box::new(v[0])
+}

@@ -1,0 +1,14 @@
+//! Fixture: Relaxed stores to lock words and version/publication fields.
+//! Expect three `ordering-discipline` findings.
+
+pub fn unlocks_relaxed(s: &State) {
+    s.lock.store(0, Ordering::Relaxed);
+}
+
+pub fn publishes_version_relaxed(s: &State) {
+    s.version.store(2, Ordering::Relaxed);
+}
+
+pub fn bumps_global_clock_relaxed() {
+    GLOBAL_VCLOCK.store(1, Ordering::Relaxed);
+}

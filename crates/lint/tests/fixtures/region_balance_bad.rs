@@ -1,0 +1,32 @@
+//! Fixture: broken conflicting-region bracketing. Expect four
+//! `conflicting-region-balance` findings: a `return` escape, a `?` escape,
+//! a `break` escape, and an unclosed region.
+
+pub fn escapes_with_return(v: &SeqVersion, bail: bool) {
+    v.begin_conflicting_action();
+    if bail {
+        return; // leaves the version odd forever
+    }
+    v.end_conflicting_action();
+}
+
+pub fn escapes_with_question(v: &SeqVersion, r: Result<u32, ()>) -> Result<u32, ()> {
+    v.begin_conflicting_action();
+    let x = r?;
+    v.end_conflicting_action();
+    Ok(x)
+}
+
+pub fn escapes_with_break(v: &SeqVersion, items: &[u32]) {
+    for i in items {
+        v.begin_conflicting_action();
+        if *i == 0 {
+            break;
+        }
+        v.end_conflicting_action();
+    }
+}
+
+pub fn never_closes(v: &SeqVersion) {
+    v.begin_conflicting_action();
+}

@@ -1,0 +1,19 @@
+//! Fixture: well-bracketed conflicting regions. Expect zero
+//! `conflicting-region-balance` findings.
+
+pub fn tight_bracket(v: &SeqVersion, cell: &Cell) {
+    v.begin_conflicting_action();
+    cell.set(1);
+    v.end_conflicting_action();
+}
+
+pub fn early_return_outside_region(v: &SeqVersion, skip: bool) -> Option<u32> {
+    if skip {
+        return None;
+    }
+    v.begin_conflicting_action();
+    v.end_conflicting_action();
+    Some(1)
+}
+
+pub fn question_mark_on_sized_bound<T: ?Sized>(_t: &T) {}

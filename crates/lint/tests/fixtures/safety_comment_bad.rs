@@ -1,0 +1,11 @@
+//! Fixture: `unsafe` with no SAFETY annotation anywhere nearby. Expect one
+//! `safety-comment` finding (the suppressed site stays silent).
+
+pub fn naked(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn silenced(p: *const u32) -> u32 {
+    // ale-lint: allow(safety-comment)
+    unsafe { *p }
+}

@@ -1,0 +1,14 @@
+//! Fixture: every `unsafe` is annotated. Expect zero `safety-comment`
+//! findings. (Never compiled — consumed as text by the lint tests.)
+
+/// # Safety
+/// The caller must ensure `p` is valid and aligned.
+pub unsafe fn deref(p: *const u32) -> u32 {
+    // SAFETY: caller contract, see above.
+    unsafe { *p }
+}
+
+pub fn masked_mentions() {
+    let _s = "unsafe in a string literal is not code";
+    // A comment saying unsafe is not code either.
+}

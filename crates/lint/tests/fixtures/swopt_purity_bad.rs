@@ -1,0 +1,23 @@
+//! Fixture: SWOpt paths that mutate shared state outside the bracket.
+//! Expect four `swopt-purity` findings: a bare `store(`, a `fetch_add`, a
+//! `get_mut`, and a `lock()`.
+
+// ale-lint: swopt
+pub fn stores_unbracketed(cell: &Atomic) {
+    cell.store(1, Ordering::Release);
+}
+
+// ale-lint: swopt
+pub fn rmw_unbracketed(cell: &Atomic) -> u64 {
+    cell.fetch_add(1, Ordering::AcqRel)
+}
+
+// ale-lint: swopt
+pub fn takes_exclusive_access(slot: &mut Slot) {
+    slot.cells.get_mut(0);
+}
+
+// ale-lint: swopt
+pub fn falls_back_to_locking(m: &Mutex) {
+    let _g = m.lock();
+}

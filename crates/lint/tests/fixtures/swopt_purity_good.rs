@@ -1,0 +1,25 @@
+//! Fixture: a pure SWOpt path — writes happen only inside the
+//! conflicting-region bracket. Expect zero `swopt-purity` findings.
+
+// ale-lint: swopt
+pub fn optimistic_lookup(v: &SeqVersion, cell: &Cell) -> Option<u32> {
+    let snap = v.read(true);
+    let value = cell.get();
+    if v.validate(snap) {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+// ale-lint: swopt
+pub fn bracketed_write(v: &SeqVersion, cell: &Atomic) {
+    v.begin_conflicting_action();
+    cell.store(1, Ordering::Release);
+    v.end_conflicting_action();
+}
+
+pub fn unmarked_writer(cell: &Atomic) {
+    // Not a SWOpt path: writes here are out of the rule's scope.
+    cell.store(2, Ordering::Release);
+}

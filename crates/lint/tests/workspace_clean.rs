@@ -1,0 +1,58 @@
+//! Integration: the real workspace must be clean under `--deny` semantics
+//! (zero findings after the checked-in baseline), and the baseline file
+//! must only contain keys that still correspond to real findings.
+
+use std::collections::HashSet;
+
+#[test]
+fn workspace_is_clean_after_baseline() {
+    let root = ale_lint::default_workspace_root();
+    let findings = ale_lint::lint_workspace(&root).expect("workspace readable");
+    let baseline = ale_lint::load_baseline(&root.join("lint-baseline.txt"));
+    let remaining = ale_lint::apply_baseline(findings, &baseline);
+    assert!(
+        remaining.is_empty(),
+        "workspace has un-baselined lint findings:\n{}",
+        remaining
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_has_no_stale_entries() {
+    let root = ale_lint::default_workspace_root();
+    let findings = ale_lint::lint_workspace(&root).expect("workspace readable");
+    let live: HashSet<String> = findings.iter().map(|f| f.baseline_key()).collect();
+    let baseline = ale_lint::load_baseline(&root.join("lint-baseline.txt"));
+    let stale: Vec<&String> = baseline.iter().filter(|k| !live.contains(*k)).collect();
+    assert!(
+        stale.is_empty(),
+        "baseline entries no longer match any finding (delete them): {stale:#?}"
+    );
+}
+
+#[test]
+fn workspace_walk_covers_all_crates() {
+    let root = ale_lint::default_workspace_root();
+    let files = ale_lint::workspace_files(&root);
+    let as_str: Vec<String> = files
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    for krate in ["core", "htm", "sync", "hashmap", "kyoto", "vtime", "lint"] {
+        assert!(
+            as_str
+                .iter()
+                .any(|p| p.contains(&format!("crates/{krate}/src/"))),
+            "walk missed crates/{krate}/src"
+        );
+    }
+    // Fixtures with intentional violations must stay out of the walk.
+    assert!(
+        as_str.iter().all(|p| !p.contains("tests/fixtures/")),
+        "fixtures leaked into the default walk"
+    );
+}

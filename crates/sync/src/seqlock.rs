@@ -72,6 +72,7 @@ impl SeqVersion {
     /// The paper's `GetVer`: read the version, optionally waiting until it
     /// is even (no conflicting region in progress).
     #[inline]
+    #[must_use = "a version snapshot is only useful if validated afterwards"]
     pub fn read(&self, wait_until_even: bool) -> u64 {
         loop {
             let v = self.v.get();
@@ -86,6 +87,7 @@ impl SeqVersion {
     /// Has the version stayed at `snapshot` (i.e. is everything read since
     /// the snapshot still consistent)?
     #[inline]
+    #[must_use = "ignoring validation defeats the optimistic read protocol"]
     pub fn validate(&self, snapshot: u64) -> bool {
         tick(Event::SharedLoad);
         self.v.get() == snapshot
@@ -206,6 +208,9 @@ mod tests {
         let v = SeqVersion::new();
         let p = Platform::testbed().htm.unwrap();
         let r: Result<(), _> = attempt(&p, &mut Rng::new(1), || {
+            // Deliberately unbalanced: the explicit abort must roll the
+            // odd version back, which is exactly what this test asserts.
+            // ale-lint: allow(conflicting-region-balance)
             v.begin_conflicting_action();
             ale_htm::explicit_abort(1);
         });

@@ -16,9 +16,7 @@
 
 use std::cell::Cell;
 use std::rc::Rc;
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::clock::{clear_lane, install_lane, Event};
 use crate::platform::Platform;
@@ -105,7 +103,7 @@ impl LaneCtx {
     #[cold]
     fn yield_slow(&self) {
         let shared = &*self.shared;
-        let mut state = shared.state.lock();
+        let mut state = shared.state.lock().unwrap();
         state.clocks[self.id] = self.clock.get();
         match Self::min_runnable_other(&state, self.id) {
             None => {
@@ -123,7 +121,7 @@ impl LaneCtx {
                 state.switches += 1;
                 shared.cvs[m].notify_one();
                 while state.status[self.id] != Status::Running {
-                    shared.cvs[self.id].wait(&mut state);
+                    state = shared.cvs[self.id].wait(state).unwrap();
                 }
                 let horizon = Self::min_runnable_other(&state, self.id)
                     .map(|(_, c)| c.saturating_add(shared.slack_ns))
@@ -136,9 +134,9 @@ impl LaneCtx {
     /// Park until the scheduler marks this lane `Running` (start-of-run gate).
     fn wait_until_scheduled(&self) {
         let shared = &*self.shared;
-        let mut state = shared.state.lock();
+        let mut state = shared.state.lock().unwrap();
         while state.status[self.id] != Status::Running {
-            shared.cvs[self.id].wait(&mut state);
+            state = shared.cvs[self.id].wait(state).unwrap();
         }
         let horizon = Self::min_runnable_other(&state, self.id)
             .map(|(_, c)| c.saturating_add(shared.slack_ns))
@@ -157,7 +155,11 @@ impl Drop for FinishGuard {
     fn drop(&mut self) {
         let ctx = &*self.ctx;
         let shared = &*ctx.shared;
-        let mut state = shared.state.lock();
+        // Runs during unwinds too: never double-panic on a poisoned mutex.
+        let mut state = shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         state.clocks[ctx.id] = ctx.clock.get();
         state.status[ctx.id] = Status::Done;
         state.live -= 1;
@@ -325,7 +327,7 @@ impl Sim {
                 .collect()
         });
 
-        let state = shared.state.lock();
+        let state = shared.state.lock().unwrap();
         SimReport {
             results,
             makespan_ns: state.clocks.iter().copied().max().unwrap_or(0),
@@ -381,10 +383,10 @@ mod tests {
                 for step in 0..50u64 {
                     // Uneven costs exercise the scheduler.
                     tick(Event::LocalWork(10 + (lane.id() as u64) * 7 + step % 3));
-                    order.lock().push((lane.id(), step));
+                    order.lock().unwrap().push((lane.id(), step));
                 }
             });
-            order.into_inner()
+            order.into_inner().unwrap()
         }
         assert_eq!(trace(), trace());
     }
@@ -398,10 +400,10 @@ mod tests {
             let cost = if lane.id() == 0 { 1000 } else { 10 };
             for _ in 0..5 {
                 tick(Event::LocalWork(cost));
-                log.lock().push((lane.id(), now()));
+                log.lock().unwrap().push((lane.id(), now()));
             }
         });
-        let log = log.into_inner();
+        let log = log.into_inner().unwrap();
         // Verify global virtual-time order of logged completions is sorted.
         let times: Vec<u64> = log.iter().map(|&(_, t)| t).collect();
         let mut sorted = times.clone();
