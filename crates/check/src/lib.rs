@@ -1,0 +1,411 @@
+//! # ale-check — dynamic checking harness for the ALE runtime
+//!
+//! Systematic testing in three moves (DESIGN.md §9):
+//!
+//! 1. **Schedule exploration** — every run executes under the deterministic
+//!    simulator with one of the adversarial
+//!    [`SchedStrategy`](ale_vtime::SchedStrategy)s (random-walk
+//!    tie-breaking, preemption-point perturbation, most-conflicting-thread)
+//!    and a fresh scheduler seed per iteration, so a seed sweep explores
+//!    many distinct interleavings while each one stays bit-for-bit
+//!    replayable.
+//! 2. **Fault injection** — an [`InjectPlan`](ale_htm::InjectPlan) steers
+//!    transactions down the rarely-taken abort paths (conflict, capacity,
+//!    spurious, lock-held), and the seqlock *chaos mode* stretches
+//!    odd-version windows so schedules land inside them.
+//! 3. **Oracles + shrinking** — after every schedule the workload's
+//!    invariants are checked (per-key linearizability against owner
+//!    shadows, value integrity, bank-sum conservation, SNZI
+//!    never-under-counts, version words never left odd). A failing run is
+//!    shrunk by bisecting the scheduler's perturbation budget (and the
+//!    fault budget) and written as a replay file that
+//!    `ale-check --replay FILE` reproduces exactly.
+//!
+//! The harness proves itself with compile-time-gated mutations (see the
+//! `mut-*` features): each classic elision bug must be caught within a
+//! bounded schedule budget by `ale-check selftest`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ale_core::CsEvent;
+use ale_htm::{InjectKind, InjectPlan, InjectPoint, InjectRule};
+use ale_vtime::{PlatformKind, SchedStrategy};
+
+pub mod minimize;
+pub mod replay;
+pub mod workloads;
+
+pub use workloads::Workload;
+
+/// Which scheduler drives a run (a CLI/replay-friendly mirror of
+/// [`SchedStrategy`], which carries its parameters inline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrategyKind {
+    /// Exact conservative lowest-clock order (the figures' scheduler).
+    LowestClock,
+    /// Uniform choice among near-tied runnable lanes.
+    #[default]
+    RandomWalk,
+    /// Lowest-clock order with probabilistic perturbed preemptions.
+    Preempt,
+    /// Greedy "schedule the most-conflicting thread".
+    MostConflicting,
+}
+
+impl StrategyKind {
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::LowestClock,
+        StrategyKind::RandomWalk,
+        StrategyKind::Preempt,
+        StrategyKind::MostConflicting,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::LowestClock => "lowest-clock",
+            StrategyKind::RandomWalk => "random-walk",
+            StrategyKind::Preempt => "preempt",
+            StrategyKind::MostConflicting => "most-conflicting",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lowest-clock" => Some(StrategyKind::LowestClock),
+            "random-walk" => Some(StrategyKind::RandomWalk),
+            "preempt" => Some(StrategyKind::Preempt),
+            "most-conflicting" => Some(StrategyKind::MostConflicting),
+            _ => None,
+        }
+    }
+
+    /// The concrete scheduler this kind selects, with the run's parameters.
+    pub fn to_strategy(self, window_ns: u64, permille: u64) -> SchedStrategy {
+        match self {
+            StrategyKind::LowestClock => SchedStrategy::LowestClock,
+            StrategyKind::RandomWalk => SchedStrategy::RandomWalk { window_ns },
+            StrategyKind::Preempt => SchedStrategy::Preempt {
+                window_ns,
+                permille,
+            },
+            StrategyKind::MostConflicting => SchedStrategy::MostConflicting { window_ns },
+        }
+    }
+}
+
+/// One fault-injection rule plus its budget, as configured from the CLI or
+/// a replay file (`point:kind:every:max_hits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub point: InjectPoint,
+    pub kind: InjectKind,
+    /// Fire on every `every`-th event at `point`.
+    pub every: u64,
+    /// Total injected-abort budget (the minimiser bisects this).
+    pub max_hits: u64,
+}
+
+impl FaultSpec {
+    pub fn to_plan(self) -> InjectPlan {
+        InjectPlan::new(vec![InjectRule {
+            point: self.point,
+            every: self.every,
+            kind: self.kind,
+        }])
+        .limited(self.max_hits)
+    }
+}
+
+/// Everything that determines one schedule, exactly — the unit of replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckConfig {
+    pub workload: Workload,
+    pub platform: PlatformKind,
+    pub threads: usize,
+    /// Operations per lane.
+    pub ops: u64,
+    /// Workload seed (per-lane random streams).
+    pub seed: u64,
+    /// Scheduler decision-stream seed.
+    pub sched_seed: u64,
+    pub strategy: StrategyKind,
+    /// Eligibility window for adversarial strategies.
+    pub window_ns: u64,
+    /// Perturbation probability for [`StrategyKind::Preempt`], in permille.
+    pub permille: u64,
+    /// Adversarial-decision budget (`u64::MAX` = unlimited); the minimiser
+    /// bisects this to find the shortest failing perturbation prefix.
+    pub perturb_limit: u64,
+    /// Seqlock/grouping chaos: stretch conflicting regions by this many
+    /// virtual nanoseconds (0 = off).
+    pub chaos_ns: u64,
+    pub fault: Option<FaultSpec>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            workload: Workload::HashMap,
+            platform: PlatformKind::Testbed,
+            threads: 4,
+            ops: 300,
+            seed: 0,
+            sched_seed: 0,
+            strategy: StrategyKind::RandomWalk,
+            // 2000 ns covers a whole Lock-mode unlink + slab free + realloc
+            // sequence on the testbed cost model, so a parked SWOpt reader
+            // can stay parked across node recycling — the window the seqlock
+            // validation exists to close.
+            window_ns: 2000,
+            permille: 120,
+            perturb_limit: u64::MAX,
+            chaos_ns: 120,
+            fault: None,
+        }
+    }
+}
+
+/// The outcome of one schedule.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Oracle violations (empty = the schedule is clean). Lane panics are
+    /// reported here too, not propagated.
+    pub violations: Vec<String>,
+    /// Deterministic digest of the run: critical-section event stream,
+    /// per-lane results, makespan, decisions. Identical configs produce
+    /// identical digests, bit for bit.
+    pub digest: u64,
+    /// Adversarial scheduling decisions the run consumed.
+    pub decisions: u64,
+    /// Virtual makespan of the run.
+    pub makespan_ns: u64,
+    /// Faults the injection plan actually fired.
+    pub injected: u64,
+}
+
+impl RunOutcome {
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+/// FNV-1a, the harness's digest function (stable, dependency-free).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The injection plan, chaos delay and CS observer are process-global, so
+/// runs must not overlap — everything goes through this lock.
+static RUN_GUARD: Mutex<()> = Mutex::new(());
+
+fn run_guard() -> MutexGuard<'static, ()> {
+    RUN_GUARD.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Execute one schedule under `cfg` and check every oracle.
+///
+/// Deterministic: the same config yields the same [`RunOutcome`] (same
+/// violations, same digest) on every call.
+pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
+    let _serial = run_guard();
+
+    // Arm the global hooks for this schedule.
+    ale_sync::chaos::set_publication_delay(cfg.chaos_ns);
+    if let Some(fault) = cfg.fault {
+        ale_htm::inject::install(fault.to_plan());
+    } else {
+        ale_htm::inject::clear();
+    }
+    let events = Arc::new(Mutex::new(Fnv::new()));
+    let sink = Arc::clone(&events);
+    ale_core::set_cs_observer(Arc::new(move |ev: &CsEvent| {
+        let mut h = sink.lock().unwrap_or_else(|p| p.into_inner());
+        match *ev {
+            CsEvent::Attempt { lock, mode } => {
+                h.write(&[1, mode.index() as u8]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::HtmAbort { lock, code } => {
+                let (tag, detail) = match code {
+                    ale_htm::AbortCode::Conflict => (0u8, 0u8),
+                    ale_htm::AbortCode::Capacity => (1, 0),
+                    ale_htm::AbortCode::Explicit(c) => (2, c),
+                    ale_htm::AbortCode::Spurious => (3, 0),
+                };
+                h.write(&[2, tag, detail]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::SwOptFail { lock } => {
+                h.write(&[3]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::Complete { lock, mode } => {
+                h.write(&[4, mode.index() as u8]);
+                h.write(lock.as_bytes());
+            }
+        }
+    }));
+
+    // Lane panics (oracle debug-asserts, poisoned invariants) count as
+    // violations; they must not take the harness down.
+    let result = catch_unwind(AssertUnwindSafe(|| workloads::run(cfg)));
+
+    // Disarm, whatever happened.
+    ale_core::clear_cs_observer();
+    ale_sync::chaos::set_publication_delay(0);
+    let injected = ale_htm::inject::clear();
+
+    let mut digest = Fnv::new();
+    digest.write_u64(events.lock().unwrap_or_else(|p| p.into_inner()).finish());
+
+    match result {
+        Ok(out) => {
+            digest.write_u64(out.digest);
+            digest.write_u64(out.makespan_ns);
+            digest.write_u64(out.decisions);
+            digest.write_u64(injected);
+            RunOutcome {
+                violations: out.violations,
+                digest: digest.finish(),
+                decisions: out.decisions,
+                makespan_ns: out.makespan_ns,
+                injected,
+            }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            RunOutcome {
+                violations: vec![format!("lane panic: {msg}")],
+                digest: digest.finish(),
+                decisions: 0,
+                makespan_ns: 0,
+                injected,
+            }
+        }
+    }
+}
+
+/// The mutation compiled into this binary, if any (selftest mode).
+pub fn active_mutation() -> Option<&'static str> {
+    if cfg!(feature = "mut-lazy-subscription") {
+        Some("mut-lazy-subscription")
+    } else if cfg!(feature = "mut-skip-version-bump") {
+        Some("mut-skip-version-bump")
+    } else if cfg!(feature = "mut-skip-validate") {
+        Some("mut-skip-validate")
+    } else if cfg!(feature = "mut-snzi-skip-half") {
+        Some("mut-snzi-skip-half")
+    } else {
+        None
+    }
+}
+
+/// The workload that detects a given mutation (selftest targeting).
+pub fn workload_for_mutation(mutation: &str) -> Workload {
+    match mutation {
+        "mut-lazy-subscription" => Workload::Bank,
+        "mut-snzi-skip-half" => Workload::Snzi,
+        // Both hashmap mutations break SWOpt-reader integrity.
+        _ => Workload::HashMap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_kind_round_trips() {
+        for k in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(StrategyKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        let mut h = Fnv::new();
+        h.write(b"ale-check");
+        let a = h.finish();
+        let mut h2 = Fnv::new();
+        h2.write(b"ale-check");
+        assert_eq!(a, h2.finish());
+        assert_ne!(a, Fnv::new().finish());
+    }
+
+    #[test]
+    fn run_once_is_deterministic_and_clean() {
+        let cfg = CheckConfig {
+            ops: 60,
+            seed: 7,
+            sched_seed: 9,
+            ..CheckConfig::default()
+        };
+        let a = run_once(&cfg);
+        let b = run_once(&cfg);
+        assert_eq!(
+            a.digest, b.digest,
+            "same config must replay bit-identically"
+        );
+        assert_eq!(a.violations, b.violations);
+        if active_mutation().is_none() {
+            assert!(
+                !a.failed(),
+                "clean build must pass the oracles: {:?}",
+                a.violations
+            );
+        }
+    }
+
+    #[test]
+    fn different_sched_seeds_give_different_schedules() {
+        let base = CheckConfig {
+            ops: 60,
+            seed: 7,
+            ..CheckConfig::default()
+        };
+        let a = run_once(&CheckConfig {
+            sched_seed: 1,
+            ..base.clone()
+        });
+        let b = run_once(&CheckConfig {
+            sched_seed: 2,
+            ..base.clone()
+        });
+        assert_ne!(
+            a.digest, b.digest,
+            "distinct scheduler seeds should explore distinct interleavings"
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! `ale-check` — CLI for the dynamic checking harness.
+//!
+//! ```text
+//! ale-check [--seeds N] [--strategy S] [--workload W] [--threads N]
+//!           [--ops N] [--platform P] [--chaos NS] [--window NS]
+//!           [--permille N] [--fault point:kind:every[:max_hits]]
+//!           [--seed-base N] [--out DIR]
+//! ale-check --replay FILE
+//! ale-check selftest [--seeds N] [--out DIR]
+//! ```
+//!
+//! The default mode sweeps seeds: each iteration runs every selected
+//! workload under a fresh scheduler seed and checks all oracles. The first
+//! violation is shrunk (see `minimize`) and written as a replay file; the
+//! exit code is 1. A clean sweep prints a deterministic digest — re-running
+//! the same command line must print the same digest, bit for bit.
+//!
+//! `selftest` proves the harness catches bugs: built with one `mut-*`
+//! feature it must find a violation within the seed budget (exit 0 on
+//! detection, 1 on escape); built clean it must find none.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ale_check::{
+    active_mutation, minimize, replay, run_once, workload_for_mutation, CheckConfig, Fnv,
+    StrategyKind, Workload,
+};
+use ale_vtime::PlatformKind;
+
+struct Args {
+    selftest: bool,
+    replay_file: Option<PathBuf>,
+    seeds: u64,
+    seed_base: u64,
+    strategies: Vec<StrategyKind>,
+    workloads: Vec<Workload>,
+    out_dir: PathBuf,
+    base: CheckConfig,
+}
+
+fn usage() -> &'static str {
+    "usage: ale-check [selftest] [--seeds N] [--strategy S|all] [--workload W|all]\n\
+     \t[--threads N] [--ops N] [--platform P] [--chaos NS] [--window NS]\n\
+     \t[--permille N] [--fault point:kind:every[:max_hits]] [--seed-base N]\n\
+     \t[--out DIR] [--replay FILE]\n\
+     strategies: lowest-clock random-walk preempt most-conflicting\n\
+     workloads:  hashmap kyoto bank snzi\n\
+     platforms:  testbed haswell rock t2"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        selftest: false,
+        replay_file: None,
+        seeds: 100,
+        seed_base: 0,
+        strategies: vec![StrategyKind::RandomWalk],
+        workloads: Workload::ALL.to_vec(),
+        out_dir: PathBuf::from("target/ale-check"),
+        base: CheckConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "selftest" => args.selftest = true,
+            "--replay" => args.replay_file = Some(PathBuf::from(value("--replay")?)),
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|_| "bad --seeds".to_string())?
+            }
+            "--seed-base" => {
+                args.seed_base = value("--seed-base")?
+                    .parse()
+                    .map_err(|_| "bad --seed-base".to_string())?
+            }
+            "--strategy" => {
+                let v = value("--strategy")?;
+                args.strategies = if v == "all" {
+                    StrategyKind::ALL.to_vec()
+                } else {
+                    vec![StrategyKind::parse(&v).ok_or(format!("unknown strategy `{v}`"))?]
+                };
+            }
+            "--workload" => {
+                let v = value("--workload")?;
+                args.workloads = if v == "all" {
+                    Workload::ALL.to_vec()
+                } else {
+                    vec![Workload::parse(&v).ok_or(format!("unknown workload `{v}`"))?]
+                };
+            }
+            "--threads" => {
+                args.base.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_string())?;
+                if args.base.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--ops" => {
+                args.base.ops = value("--ops")?
+                    .parse()
+                    .map_err(|_| "bad --ops".to_string())?
+            }
+            "--platform" => {
+                let v = value("--platform")?;
+                args.base.platform =
+                    PlatformKind::parse(&v).ok_or(format!("unknown platform `{v}`"))?;
+            }
+            "--chaos" => {
+                args.base.chaos_ns = value("--chaos")?
+                    .parse()
+                    .map_err(|_| "bad --chaos".to_string())?
+            }
+            "--window" => {
+                args.base.window_ns = value("--window")?
+                    .parse()
+                    .map_err(|_| "bad --window".to_string())?
+            }
+            "--permille" => {
+                args.base.permille = value("--permille")?
+                    .parse()
+                    .map_err(|_| "bad --permille".to_string())?
+            }
+            "--fault" => args.base.fault = Some(replay::parse_fault(&value("--fault")?)?),
+            "--out" => args.out_dir = PathBuf::from(value("--out")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Config for iteration `i` of the sweep: workload seed and scheduler seed
+/// both derived from the iteration index so every iteration is a distinct,
+/// individually replayable schedule.
+fn sweep_config(
+    base: &CheckConfig,
+    workload: Workload,
+    strategy: StrategyKind,
+    seed: u64,
+) -> CheckConfig {
+    CheckConfig {
+        workload,
+        strategy,
+        seed,
+        sched_seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_5EED,
+        ..base.clone()
+    }
+}
+
+/// Shrink a failing config, write the replay file, print the repro recipe.
+fn report_failure(cfg: &CheckConfig, outcome: &ale_check::RunOutcome, out_dir: &Path) -> PathBuf {
+    eprintln!(
+        "FAIL {} strategy={} seed={}: {} violation(s)",
+        cfg.workload.name(),
+        cfg.strategy.name(),
+        cfg.seed,
+        outcome.violations.len()
+    );
+    for v in &outcome.violations {
+        eprintln!("  - {v}");
+    }
+    let (final_cfg, note) = match minimize::minimize(cfg, outcome) {
+        Some(min) => {
+            eprintln!(
+                "minimised in {} runs: perturb_limit {} -> {}{}",
+                min.runs,
+                outcome.decisions,
+                min.config.perturb_limit,
+                min.config
+                    .fault
+                    .map(|f| format!(", fault budget -> {}", f.max_hits))
+                    .unwrap_or_default()
+            );
+            (min.config, "minimised")
+        }
+        None => {
+            eprintln!("warning: shrinking could not re-reproduce; writing the original schedule");
+            (cfg.clone(), "unminimised")
+        }
+    };
+    std::fs::create_dir_all(out_dir).ok();
+    let path = out_dir.join(format!(
+        "fail-{}-{}-seed{}.replay",
+        final_cfg.workload.name(),
+        final_cfg.strategy.name(),
+        final_cfg.seed
+    ));
+    match std::fs::write(&path, replay::write(&final_cfg)) {
+        Ok(()) => eprintln!(
+            "{} replay written: {}\nreproduce with: cargo run -p ale-check -- --replay {}",
+            note,
+            path.display(),
+            path.display()
+        ),
+        Err(e) => eprintln!("could not write replay file {}: {e}", path.display()),
+    }
+    path
+}
+
+fn run_replay(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match replay::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot parse {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = run_once(&cfg);
+    println!(
+        "replay {} strategy={} seed={} sched_seed={}: digest {:016x}, {} decision(s), {} injected fault(s)",
+        cfg.workload.name(),
+        cfg.strategy.name(),
+        cfg.seed,
+        cfg.sched_seed,
+        outcome.digest,
+        outcome.decisions,
+        outcome.injected
+    );
+    if outcome.failed() {
+        println!("{} violation(s):", outcome.violations.len());
+        for v in &outcome.violations {
+            println!("  - {v}");
+        }
+        ExitCode::from(1)
+    } else {
+        println!("clean (no oracle violation under this schedule)");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_sweep(args: &Args) -> ExitCode {
+    let mut digest = Fnv::new();
+    let mut runs = 0u64;
+    for seed in args.seed_base..args.seed_base + args.seeds {
+        for &workload in &args.workloads {
+            for &strategy in &args.strategies {
+                let cfg = sweep_config(&args.base, workload, strategy, seed);
+                let outcome = run_once(&cfg);
+                runs += 1;
+                digest.write_u64(outcome.digest);
+                if outcome.failed() {
+                    report_failure(&cfg, &outcome, &args.out_dir);
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    println!(
+        "clean: {} schedule(s) across {} workload(s) x {} strategy(ies), digest {:016x}",
+        runs,
+        args.workloads.len(),
+        args.strategies.len(),
+        digest.finish()
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_selftest(args: &Args) -> ExitCode {
+    match active_mutation() {
+        None => {
+            // Clean build: a modest sweep must stay clean.
+            eprintln!("selftest (no mutation compiled in): expecting a clean sweep");
+            let clean = Args {
+                selftest: false,
+                replay_file: None,
+                seeds: args.seeds.min(25),
+                seed_base: args.seed_base,
+                strategies: vec![StrategyKind::RandomWalk, StrategyKind::MostConflicting],
+                workloads: Workload::ALL.to_vec(),
+                out_dir: args.out_dir.clone(),
+                base: args.base.clone(),
+            };
+            run_sweep(&clean)
+        }
+        Some(mutation) => {
+            let workload = workload_for_mutation(mutation);
+            eprintln!(
+                "selftest: hunting `{mutation}` on the {} workload (budget {} seeds x {} strategies)",
+                workload.name(),
+                args.seeds,
+                StrategyKind::ALL.len()
+            );
+            let mut schedules = 0u64;
+            for seed in args.seed_base..args.seed_base + args.seeds {
+                // All strategies take part — a detector that only works
+                // under one scheduler is too fragile to trust.
+                for strategy in StrategyKind::ALL {
+                    let cfg = sweep_config(&args.base, workload, strategy, seed);
+                    let outcome = run_once(&cfg);
+                    schedules += 1;
+                    if outcome.failed() {
+                        eprintln!("selftest: `{mutation}` detected after {schedules} schedule(s)");
+                        report_failure(&cfg, &outcome, &args.out_dir);
+                        return ExitCode::SUCCESS;
+                    }
+                }
+            }
+            eprintln!(
+                "selftest FAILED: `{mutation}` escaped {schedules} schedule(s) — the oracles are too weak"
+            );
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.replay_file {
+        return run_replay(path);
+    }
+    if args.selftest {
+        return run_selftest(&args);
+    }
+    run_sweep(&args)
+}

@@ -1,0 +1,103 @@
+//! Shrinking: reduce a failing schedule to its smallest reproducer.
+//!
+//! The adversarial scheduler counts every decision it takes and stops
+//! deviating from lowest-clock order once `perturb_limit` decisions are
+//! spent — so the *perturbation prefix length* is a single scalar that
+//! bounds how much of the schedule is adversarial. Shrinking bisects it:
+//! find the smallest limit whose run still violates an oracle. The fault
+//! budget (`max_hits`) shrinks the same way. Failure is not guaranteed
+//! monotonic in either knob, so this is a greedy delta-debugging pass, not
+//! an exact minimum — every candidate is re-executed, and the final config
+//! is verified to still fail before it is reported.
+
+use crate::{run_once, CheckConfig, RunOutcome};
+
+/// Outcome of a shrink pass.
+#[derive(Debug)]
+pub struct Minimized {
+    /// The reduced config (still failing — verified).
+    pub config: CheckConfig,
+    /// The outcome of the final verification run.
+    pub outcome: RunOutcome,
+    /// Schedules executed while shrinking.
+    pub runs: u64,
+}
+
+/// Smallest value in `[lo, hi]` for which `fails` holds, assuming it holds
+/// at `hi`. Bisection against a non-monotone predicate: each probe
+/// re-executes the schedule, and a non-failing midpoint moves `lo` up, so
+/// the result always satisfies `fails` even if it is not globally minimal.
+fn bisect(mut lo: u64, mut hi: u64, mut fails: impl FnMut(u64) -> bool) -> (u64, u64) {
+    let mut runs = 0;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        runs += 1;
+        if fails(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (hi, runs)
+}
+
+/// Shrink `cfg` (known to fail with `witness`) and verify the result.
+///
+/// Returns `None` if even re-running the original config no longer fails —
+/// which would mean the run was not deterministic and is itself a bug.
+pub fn minimize(cfg: &CheckConfig, witness: &RunOutcome) -> Option<Minimized> {
+    let mut runs = 0u64;
+    let mut cfg = cfg.clone();
+
+    // Pin the open-ended knobs to what the witness actually consumed, so
+    // the bisection ranges are finite.
+    if cfg.perturb_limit == u64::MAX {
+        cfg.perturb_limit = witness.decisions;
+    }
+    if let Some(fault) = cfg.fault.as_mut() {
+        if fault.max_hits == u64::MAX {
+            fault.max_hits = witness.injected;
+        }
+    }
+    runs += 1;
+    if !run_once(&cfg).failed() {
+        return None;
+    }
+
+    // Shrink the perturbation prefix.
+    let (limit, n) = bisect(0, cfg.perturb_limit, |limit| {
+        run_once(&CheckConfig {
+            perturb_limit: limit,
+            ..cfg.clone()
+        })
+        .failed()
+    });
+    runs += n;
+    cfg.perturb_limit = limit;
+
+    // Shrink the fault budget.
+    if let Some(fault) = cfg.fault {
+        let (hits, n) = bisect(0, fault.max_hits, |max_hits| {
+            let mut candidate = cfg.clone();
+            candidate.fault = Some(crate::FaultSpec { max_hits, ..fault });
+            run_once(&candidate).failed()
+        });
+        runs += n;
+        cfg.fault = Some(crate::FaultSpec {
+            max_hits: hits,
+            ..fault
+        });
+    }
+
+    // Final verification run: the reported config must fail as-is.
+    runs += 1;
+    let outcome = run_once(&cfg);
+    if !outcome.failed() {
+        return None;
+    }
+    Some(Minimized {
+        config: cfg,
+        outcome,
+        runs,
+    })
+}

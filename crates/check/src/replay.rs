@@ -1,0 +1,202 @@
+//! The replay file format: one failing schedule, reproducible with
+//! `ale-check --replay FILE`.
+//!
+//! Plain `key=value` lines (one per field), `#` comments, order-free.
+//! Every field of [`CheckConfig`] round-trips, so a file written by the
+//! minimiser re-runs the exact minimised schedule — same seeds, same
+//! strategy parameters, same fault plan — and produces the same violations
+//! bit for bit.
+
+use ale_htm::{InjectKind, InjectPoint};
+use ale_vtime::PlatformKind;
+
+use crate::{CheckConfig, FaultSpec, StrategyKind, Workload};
+
+fn point_name(p: InjectPoint) -> &'static str {
+    match p {
+        InjectPoint::Begin => "begin",
+        InjectPoint::Read => "read",
+        InjectPoint::Write => "write",
+        InjectPoint::Commit => "commit",
+    }
+}
+
+fn parse_point(s: &str) -> Option<InjectPoint> {
+    match s {
+        "begin" => Some(InjectPoint::Begin),
+        "read" => Some(InjectPoint::Read),
+        "write" => Some(InjectPoint::Write),
+        "commit" => Some(InjectPoint::Commit),
+        _ => None,
+    }
+}
+
+fn kind_name(k: InjectKind) -> &'static str {
+    match k {
+        InjectKind::Conflict => "conflict",
+        InjectKind::Capacity => "capacity",
+        InjectKind::Spurious => "spurious",
+        InjectKind::LockHeld => "lock-held",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<InjectKind> {
+    match s {
+        "conflict" => Some(InjectKind::Conflict),
+        "capacity" => Some(InjectKind::Capacity),
+        "spurious" => Some(InjectKind::Spurious),
+        "lock-held" => Some(InjectKind::LockHeld),
+        _ => None,
+    }
+}
+
+/// Parse a CLI/replay fault spec: `point:kind:every[:max_hits]`.
+pub fn parse_fault(s: &str) -> Result<FaultSpec, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 && parts.len() != 4 {
+        return Err(format!(
+            "fault spec `{s}` is not point:kind:every[:max_hits]"
+        ));
+    }
+    let point =
+        parse_point(parts[0]).ok_or_else(|| format!("unknown fault point `{}`", parts[0]))?;
+    let kind = parse_kind(parts[1]).ok_or_else(|| format!("unknown fault kind `{}`", parts[1]))?;
+    let every: u64 = parts[2]
+        .parse()
+        .map_err(|_| format!("bad fault period `{}`", parts[2]))?;
+    let max_hits: u64 = match parts.get(3) {
+        Some(v) => v.parse().map_err(|_| format!("bad fault budget `{v}`"))?,
+        None => u64::MAX,
+    };
+    Ok(FaultSpec {
+        point,
+        kind,
+        every,
+        max_hits,
+    })
+}
+
+/// Render a fault spec in the replay/CLI syntax.
+pub fn fault_string(f: &FaultSpec) -> String {
+    format!(
+        "{}:{}:{}:{}",
+        point_name(f.point),
+        kind_name(f.kind),
+        f.every,
+        f.max_hits
+    )
+}
+
+/// Serialise a config as a replay file.
+pub fn write(cfg: &CheckConfig) -> String {
+    let mut out = String::new();
+    out.push_str("# ale-check replay file — reproduce with:\n");
+    out.push_str("#   cargo run -p ale-check -- --replay <this file>\n");
+    out.push_str(&format!("workload={}\n", cfg.workload.name()));
+    out.push_str(&format!("platform={}\n", cfg.platform.name()));
+    out.push_str(&format!("threads={}\n", cfg.threads));
+    out.push_str(&format!("ops={}\n", cfg.ops));
+    out.push_str(&format!("seed={}\n", cfg.seed));
+    out.push_str(&format!("sched_seed={}\n", cfg.sched_seed));
+    out.push_str(&format!("strategy={}\n", cfg.strategy.name()));
+    out.push_str(&format!("window_ns={}\n", cfg.window_ns));
+    out.push_str(&format!("permille={}\n", cfg.permille));
+    out.push_str(&format!("perturb_limit={}\n", cfg.perturb_limit));
+    out.push_str(&format!("chaos_ns={}\n", cfg.chaos_ns));
+    if let Some(fault) = &cfg.fault {
+        out.push_str(&format!("fault={}\n", fault_string(fault)));
+    }
+    out
+}
+
+/// Parse a replay file back into a config.
+pub fn parse(text: &str) -> Result<CheckConfig, String> {
+    let mut cfg = CheckConfig::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: not key=value: `{line}`", lineno + 1))?;
+        let bad = |what: &str| format!("line {}: bad {what} `{value}`", lineno + 1);
+        match key {
+            "workload" => {
+                cfg.workload = Workload::parse(value).ok_or_else(|| bad("workload"))?;
+            }
+            "platform" => {
+                cfg.platform = PlatformKind::parse(value).ok_or_else(|| bad("platform"))?;
+            }
+            "threads" => cfg.threads = value.parse().map_err(|_| bad("threads"))?,
+            "ops" => cfg.ops = value.parse().map_err(|_| bad("ops"))?,
+            "seed" => cfg.seed = value.parse().map_err(|_| bad("seed"))?,
+            "sched_seed" => cfg.sched_seed = value.parse().map_err(|_| bad("sched_seed"))?,
+            "strategy" => {
+                cfg.strategy = StrategyKind::parse(value).ok_or_else(|| bad("strategy"))?;
+            }
+            "window_ns" => cfg.window_ns = value.parse().map_err(|_| bad("window_ns"))?,
+            "permille" => cfg.permille = value.parse().map_err(|_| bad("permille"))?,
+            "perturb_limit" => {
+                cfg.perturb_limit = value.parse().map_err(|_| bad("perturb_limit"))?;
+            }
+            "chaos_ns" => cfg.chaos_ns = value.parse().map_err(|_| bad("chaos_ns"))?,
+            "fault" => cfg.fault = Some(parse_fault(value)?),
+            _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
+        }
+    }
+    if cfg.threads == 0 {
+        return Err("threads must be >= 1".into());
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_field() {
+        let cfg = CheckConfig {
+            workload: Workload::Bank,
+            platform: PlatformKind::Haswell,
+            threads: 6,
+            ops: 123,
+            seed: 42,
+            sched_seed: 977,
+            strategy: StrategyKind::MostConflicting,
+            window_ns: 250,
+            permille: 75,
+            perturb_limit: 12_345,
+            chaos_ns: 60,
+            fault: Some(FaultSpec {
+                point: InjectPoint::Commit,
+                kind: InjectKind::LockHeld,
+                every: 7,
+                max_hits: 3,
+            }),
+        };
+        let text = write(&cfg);
+        let parsed = parse(&text).expect("replay text must parse");
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn parses_comments_and_defaults() {
+        let cfg = parse("# comment\nworkload=snzi\nseed=9\n").unwrap();
+        assert_eq!(cfg.workload, Workload::Snzi);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.fault, None);
+        assert_eq!(cfg.threads, CheckConfig::default().threads);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("workload=quantum\n").is_err());
+        assert!(parse("nonsense\n").is_err());
+        assert!(parse("bogus_key=1\n").is_err());
+        assert!(parse_fault("begin:conflict").is_err());
+        assert!(parse_fault("begin:conflict:x").is_err());
+        assert!(parse_fault("begin:warp:3").is_err());
+    }
+}

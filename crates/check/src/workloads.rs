@@ -1,0 +1,641 @@
+//! Model-checked workloads and their oracles.
+//!
+//! Each workload runs a fixed operation mix under the simulator and checks
+//! invariants both *during* the run (from inside lanes, recorded — never
+//! asserted — so one violation doesn't hide the rest) and *after* it
+//! (quiescent-state oracles). The keyspace is partitioned so every mutable
+//! key has exactly one writer lane: per-key final state is then fully
+//! determined by that lane's operation sequence, which gives a sound
+//! linearizability check (owner shadows) without a centralized model.
+//!
+//! Values embed their key in the low 16 bits, so a reader that lands on a
+//! recycled node — the failure mode of a skipped version bump or a skipped
+//! validation — returns a value whose embedded key disagrees with the one
+//! requested, and the integrity oracle fires.
+
+use std::sync::Mutex;
+
+use ale_core::{scope, Ale, AleConfig, CsOptions, StaticPolicy};
+use ale_hashmap::{AleHashMap, MapConfig};
+use ale_htm::HtmCell;
+use ale_kyoto::{AleCacheDb, DbConfig, KyotoDb};
+use ale_sync::{Snzi, SpinLock};
+use ale_vtime::{tick, Event, Rng, Sim};
+
+use crate::{CheckConfig, Fnv};
+
+/// Which subject the schedule exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The paper's chained HashMap: SWOpt readers vs Lock-mode mutators.
+    HashMap,
+    /// The Kyoto CacheDB: nested RW-lock + slot-lock critical sections,
+    /// all three modes.
+    Kyoto,
+    /// Transfer/audit bank on raw `HtmCell`s: the TLE lock-subscription
+    /// soundness test (HTM auditors vs Lock-mode writers).
+    Bank,
+    /// SNZI arrive/depart storm: the indicator must never read empty while
+    /// a surplus exists.
+    Snzi,
+}
+
+impl Workload {
+    pub const ALL: [Workload; 4] = [
+        Workload::HashMap,
+        Workload::Kyoto,
+        Workload::Bank,
+        Workload::Snzi,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::HashMap => "hashmap",
+            Workload::Kyoto => "kyoto",
+            Workload::Bank => "bank",
+            Workload::Snzi => "snzi",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "hashmap" => Some(Workload::HashMap),
+            "kyoto" => Some(Workload::Kyoto),
+            "bank" => Some(Workload::Bank),
+            "snzi" => Some(Workload::Snzi),
+            _ => None,
+        }
+    }
+}
+
+/// What a workload reports back to [`crate::run_once`].
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    pub violations: Vec<String>,
+    /// Workload-specific digest material (lane results, final state).
+    pub digest: u64,
+    pub decisions: u64,
+    pub makespan_ns: u64,
+}
+
+/// Recorded oracle violations. Capped so a hot oracle can't balloon the
+/// report; the count is always exact.
+struct Violations {
+    inner: Mutex<(Vec<String>, u64)>,
+}
+
+const MAX_RECORDED: usize = 48;
+
+impl Violations {
+    fn new() -> Self {
+        Violations {
+            inner: Mutex::new((Vec::new(), 0)),
+        }
+    }
+
+    fn record(&self, msg: String) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.1 += 1;
+        if g.0.len() < MAX_RECORDED {
+            g.0.push(msg);
+        }
+    }
+
+    fn into_vec(self) -> Vec<String> {
+        let (mut v, total) = self.inner.into_inner().unwrap_or_else(|p| p.into_inner());
+        if total > v.len() as u64 {
+            v.push(format!("… and {} more violations", total - v.len() as u64));
+        }
+        v
+    }
+}
+
+fn sim_for(cfg: &CheckConfig) -> Sim {
+    Sim::new(cfg.platform.platform(), cfg.threads)
+        .with_seed(cfg.seed)
+        .with_sched_seed(cfg.sched_seed)
+        .with_strategy(cfg.strategy.to_strategy(cfg.window_ns, cfg.permille))
+        .with_perturb_limit(cfg.perturb_limit)
+}
+
+fn lane_rng(cfg: &CheckConfig, lane: usize) -> Rng {
+    Rng::new(cfg.seed ^ (lane as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Dispatch to the configured workload.
+pub fn run(cfg: &CheckConfig) -> WorkloadOutcome {
+    match cfg.workload {
+        Workload::HashMap => run_hashmap(cfg),
+        Workload::Kyoto => run_kyoto(cfg),
+        Workload::Bank => run_bank(cfg),
+        Workload::Snzi => run_snzi(cfg),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HashMap: SWOpt readers vs Lock-mode mutators
+// ---------------------------------------------------------------------------
+
+/// Value encoding shared by the map workloads: generation in the high
+/// bits, the key's low 16 bits embedded for the integrity oracle.
+fn encode(key: u64, generation: u64) -> u64 {
+    (generation << 16) | (key & 0xFFFF)
+}
+
+fn integrity_ok(key: u64, val: u64) -> bool {
+    val & 0xFFFF == key & 0xFFFF
+}
+
+const STABLE_KEYS: std::ops::Range<u64> = 1..9;
+const STABLE_COUNT: usize = (STABLE_KEYS.end - STABLE_KEYS.start) as usize;
+const CHURN_PER_LANE: usize = 4;
+
+fn churn_key(lane: usize, j: usize) -> u64 {
+    0x100 + (lane as u64) * CHURN_PER_LANE as u64 + j as u64
+}
+
+/// Per-lane shadow of the keys this lane owns (sole writer).
+#[derive(Clone)]
+struct Shadow {
+    present: [bool; CHURN_PER_LANE],
+    value: [u64; CHURN_PER_LANE],
+    generation: [u64; CHURN_PER_LANE],
+}
+
+impl Shadow {
+    fn new() -> Self {
+        Shadow {
+            present: [false; CHURN_PER_LANE],
+            value: [0; CHURN_PER_LANE],
+            generation: [0; CHURN_PER_LANE],
+        }
+    }
+
+    fn fold(&self, h: &mut Fnv) {
+        for j in 0..CHURN_PER_LANE {
+            h.write(&[self.present[j] as u8]);
+            h.write_u64(self.value[j]);
+            h.write_u64(self.generation[j]);
+        }
+    }
+}
+
+fn run_hashmap(cfg: &CheckConfig) -> WorkloadOutcome {
+    // SWOpt vs Lock focus: HTM off so every optimistic read takes the
+    // SWOpt path and every mutation runs under the lock, maximising the
+    // windows the seqlock protocol must cover. 4 buckets force long mixed
+    // chains (stable and churn keys collide).
+    let ale = Ale::new(
+        AleConfig::new(cfg.platform.platform())
+            .without_htm()
+            .with_seed(cfg.seed),
+        StaticPolicy::new(0, 6),
+    );
+    let map: AleHashMap<u64> = AleHashMap::new(&ale, MapConfig::new(4).with_capacity(1 << 14));
+    for key in STABLE_KEYS {
+        map.insert(key, encode(key, 0));
+    }
+
+    let violations = Violations::new();
+    let v = &violations;
+    let map_ref = &map;
+    let report = sim_for(cfg).run(|lane| {
+        let id = lane.id();
+        let mut rng = lane_rng(cfg, id);
+        let mut shadow = Shadow::new();
+        let threads = cfg.threads as u64;
+        for _ in 0..cfg.ops {
+            match rng.gen_range(10) {
+                0..=4 => {
+                    // Read a random key: a stable one or any lane's churn key.
+                    let key = if rng.gen_ratio(1, 2) {
+                        STABLE_KEYS.start + rng.gen_range(STABLE_KEYS.end - STABLE_KEYS.start)
+                    } else {
+                        churn_key(
+                            rng.gen_range(threads) as usize,
+                            rng.gen_range(CHURN_PER_LANE as u64) as usize,
+                        )
+                    };
+                    let mut val = 0u64;
+                    let found = map_ref.get(key, &mut val);
+                    if found && !integrity_ok(key, val) {
+                        v.record(format!(
+                            "hashmap: get({key:#x}) returned value {val:#x} belonging to key {:#x}",
+                            val & 0xFFFF
+                        ));
+                    }
+                    if STABLE_KEYS.contains(&key) {
+                        if !found {
+                            v.record(format!("hashmap: stable key {key:#x} reported absent"));
+                        } else if val != encode(key, 0) {
+                            v.record(format!(
+                                "hashmap: stable key {key:#x} value changed to {val:#x}"
+                            ));
+                        }
+                    }
+                }
+                5 | 6 => {
+                    // (Re-)insert one of our own keys; alternate the plain
+                    // and fine-grained paths for coverage.
+                    let j = rng.gen_range(CHURN_PER_LANE as u64) as usize;
+                    let key = churn_key(id, j);
+                    shadow.generation[j] += 1;
+                    let val = encode(key, shadow.generation[j]);
+                    let newly = if shadow.generation[j].is_multiple_of(2) {
+                        map_ref.insert(key, val)
+                    } else {
+                        map_ref.insert_fine(key, val)
+                    };
+                    if newly == shadow.present[j] {
+                        v.record(format!(
+                            "hashmap: insert({key:#x}) returned newly={newly} but shadow says present={}",
+                            shadow.present[j]
+                        ));
+                    }
+                    shadow.present[j] = true;
+                    shadow.value[j] = val;
+                }
+                7 => {
+                    // Remove one of our own keys via a rotating API choice.
+                    let j = rng.gen_range(CHURN_PER_LANE as u64) as usize;
+                    let key = churn_key(id, j);
+                    let was = match rng.gen_range(3) {
+                        0 => map_ref.remove(key),
+                        1 => map_ref.remove_fine(key),
+                        _ => map_ref.remove_self_abort(key),
+                    };
+                    if was != shadow.present[j] {
+                        v.record(format!(
+                            "hashmap: remove({key:#x}) returned {was} but shadow says present={}",
+                            shadow.present[j]
+                        ));
+                    }
+                    shadow.present[j] = false;
+                }
+                8 => {
+                    // Rotate: remove one of our keys and immediately insert a
+                    // *different* one. The freed slab node lands on this
+                    // lane's free stripe and the very next alloc pops it, so
+                    // the node is recycled under a new key within a few ticks
+                    // of the unlink — the shortest possible reuse distance,
+                    // and the schedule a skipped version bump or a skipped
+                    // reader validation cannot survive.
+                    let j = rng.gen_range(CHURN_PER_LANE as u64) as usize;
+                    let key = churn_key(id, j);
+                    let was = map_ref.remove(key);
+                    if was != shadow.present[j] {
+                        v.record(format!(
+                            "hashmap: remove({key:#x}) returned {was} but shadow says present={}",
+                            shadow.present[j]
+                        ));
+                    }
+                    shadow.present[j] = false;
+                    let j2 = (j + 1) % CHURN_PER_LANE;
+                    let key2 = churn_key(id, j2);
+                    shadow.generation[j2] += 1;
+                    let val2 = encode(key2, shadow.generation[j2]);
+                    let newly = map_ref.insert(key2, val2);
+                    if newly == shadow.present[j2] {
+                        v.record(format!(
+                            "hashmap: insert({key2:#x}) returned newly={newly} but shadow says present={}",
+                            shadow.present[j2]
+                        ));
+                    }
+                    shadow.present[j2] = true;
+                    shadow.value[j2] = val2;
+                }
+                _ => tick(Event::LocalWork(1 + rng.gen_range(300))),
+            }
+        }
+        shadow
+    });
+
+    // Quiescent oracles: owner shadows are the truth now.
+    let mut expected_len = STABLE_COUNT;
+    for (id, shadow) in report.results.iter().enumerate() {
+        for j in 0..CHURN_PER_LANE {
+            let key = churn_key(id, j);
+            let mut val = 0u64;
+            let found = map.get(key, &mut val);
+            if found != shadow.present[j] {
+                violations.record(format!(
+                    "hashmap: final state of {key:#x} is present={found}, owner shadow says {}",
+                    shadow.present[j]
+                ));
+            } else if found && val != shadow.value[j] {
+                violations.record(format!(
+                    "hashmap: final value of {key:#x} is {val:#x}, owner shadow says {:#x} (lost update)",
+                    shadow.value[j]
+                ));
+            }
+            expected_len += shadow.present[j] as usize;
+        }
+    }
+    for key in STABLE_KEYS {
+        let mut val = 0u64;
+        if !map.get(key, &mut val) {
+            violations.record(format!("hashmap: stable key {key:#x} absent after the run"));
+        }
+    }
+    let len = map.len_slow();
+    if len != expected_len {
+        violations.record(format!(
+            "hashmap: len is {len}, owner shadows total {expected_len}"
+        ));
+    }
+    if !map.versions_even() {
+        violations.record("hashmap: a version word was left odd after quiescence".into());
+    }
+
+    let mut h = Fnv::new();
+    for shadow in &report.results {
+        shadow.fold(&mut h);
+    }
+    h.write_u64(len as u64);
+    WorkloadOutcome {
+        violations: violations.into_vec(),
+        digest: h.finish(),
+        decisions: report.decisions,
+        makespan_ns: report.makespan_ns,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kyoto CacheDB: nested critical sections, all three modes
+// ---------------------------------------------------------------------------
+
+fn run_kyoto(cfg: &CheckConfig) -> WorkloadOutcome {
+    let ale = Ale::new(
+        AleConfig::new(cfg.platform.platform()).with_seed(cfg.seed),
+        StaticPolicy::new(3, 10),
+    );
+    let db = AleCacheDb::new(
+        &ale,
+        DbConfig {
+            buckets_per_slot: 64,
+            capacity_per_slot: 1 << 12,
+            payload_cells: 2,
+        },
+    );
+    for key in STABLE_KEYS {
+        db.set(key, encode(key, 0));
+    }
+
+    let violations = Violations::new();
+    let v = &violations;
+    let db_ref = &db;
+    let report = sim_for(cfg).run(|lane| {
+        let id = lane.id();
+        let mut rng = lane_rng(cfg, id);
+        let mut shadow = Shadow::new();
+        let threads = cfg.threads as u64;
+        for op in 0..cfg.ops {
+            if op % 64 == 63 {
+                // Occasional whole-database count: the paper's "relatively
+                // large hardware transaction". Racy by nature mid-run; the
+                // only invariant here is that it terminates and is sane.
+                let n = db_ref.count();
+                let ceiling = STABLE_COUNT + cfg.threads * CHURN_PER_LANE;
+                if n > ceiling {
+                    v.record(format!("kyoto: count() returned {n} > ceiling {ceiling}"));
+                }
+                continue;
+            }
+            match rng.gen_range(10) {
+                0..=4 => {
+                    let key = if rng.gen_ratio(1, 2) {
+                        STABLE_KEYS.start + rng.gen_range(STABLE_KEYS.end - STABLE_KEYS.start)
+                    } else {
+                        churn_key(
+                            rng.gen_range(threads) as usize,
+                            rng.gen_range(CHURN_PER_LANE as u64) as usize,
+                        )
+                    };
+                    match db_ref.get(key) {
+                        Some(val) if !integrity_ok(key, val) => v.record(format!(
+                            "kyoto: get({key:#x}) returned value {val:#x} belonging to key {:#x}",
+                            val & 0xFFFF
+                        )),
+                        Some(val) if STABLE_KEYS.contains(&key) && val != encode(key, 0) => v
+                            .record(format!(
+                                "kyoto: stable key {key:#x} value changed to {val:#x}"
+                            )),
+                        None if STABLE_KEYS.contains(&key) => {
+                            v.record(format!("kyoto: stable key {key:#x} reported absent"))
+                        }
+                        _ => {}
+                    }
+                }
+                5 | 6 => {
+                    let j = rng.gen_range(CHURN_PER_LANE as u64) as usize;
+                    let key = churn_key(id, j);
+                    shadow.generation[j] += 1;
+                    let val = encode(key, shadow.generation[j]);
+                    let newly = db_ref.set(key, val);
+                    if newly == shadow.present[j] {
+                        v.record(format!(
+                            "kyoto: set({key:#x}) returned newly={newly} but shadow says present={}",
+                            shadow.present[j]
+                        ));
+                    }
+                    shadow.present[j] = true;
+                    shadow.value[j] = val;
+                }
+                7 | 8 => {
+                    let j = rng.gen_range(CHURN_PER_LANE as u64) as usize;
+                    let key = churn_key(id, j);
+                    let was = db_ref.remove(key);
+                    if was != shadow.present[j] {
+                        v.record(format!(
+                            "kyoto: remove({key:#x}) returned {was} but shadow says present={}",
+                            shadow.present[j]
+                        ));
+                    }
+                    shadow.present[j] = false;
+                }
+                _ => tick(Event::LocalWork(1 + rng.gen_range(300))),
+            }
+        }
+        shadow
+    });
+
+    let mut expected = STABLE_COUNT;
+    for (id, shadow) in report.results.iter().enumerate() {
+        for j in 0..CHURN_PER_LANE {
+            let key = churn_key(id, j);
+            let found = db.get(key);
+            match (found, shadow.present[j]) {
+                (Some(val), true) if val != shadow.value[j] => violations.record(format!(
+                    "kyoto: final value of {key:#x} is {val:#x}, owner shadow says {:#x} (lost update)",
+                    shadow.value[j]
+                )),
+                (None, true) => violations.record(format!(
+                    "kyoto: final state of {key:#x} is absent, owner shadow says present"
+                )),
+                (Some(_), false) => violations.record(format!(
+                    "kyoto: final state of {key:#x} is present, owner shadow says absent"
+                )),
+                _ => {}
+            }
+            expected += shadow.present[j] as usize;
+        }
+    }
+    for key in STABLE_KEYS {
+        if db.get(key).is_none() {
+            violations.record(format!("kyoto: stable key {key:#x} absent after the run"));
+        }
+    }
+    let n = db.count();
+    if n != expected {
+        violations.record(format!(
+            "kyoto: count() is {n}, owner shadows total {expected}"
+        ));
+    }
+    if !db.versions_even() {
+        violations.record("kyoto: a slot version was left odd after quiescence".into());
+    }
+
+    let mut h = Fnv::new();
+    for shadow in &report.results {
+        shadow.fold(&mut h);
+    }
+    h.write_u64(n as u64);
+    WorkloadOutcome {
+        violations: violations.into_vec(),
+        digest: h.finish(),
+        decisions: report.decisions,
+        makespan_ns: report.makespan_ns,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bank: the TLE lock-subscription soundness test
+// ---------------------------------------------------------------------------
+
+const ACCOUNTS: usize = 12;
+const INITIAL_BALANCE: u64 = 1_000;
+
+fn run_bank(cfg: &CheckConfig) -> WorkloadOutcome {
+    let total = ACCOUNTS as u64 * INITIAL_BALANCE;
+    let accounts: Vec<HtmCell<u64>> = (0..ACCOUNTS)
+        .map(|_| HtmCell::new(INITIAL_BALANCE))
+        .collect();
+    let ale = Ale::new(
+        AleConfig::new(cfg.platform.platform())
+            .without_swopt()
+            .with_seed(cfg.seed),
+        StaticPolicy::new(4, 0),
+    );
+    let lock = ale.new_lock("bankLock", SpinLock::new());
+
+    let violations = Violations::new();
+    let v = &violations;
+    let accounts_ref = &accounts;
+    let lock_ref = &lock;
+    let report = sim_for(cfg).run(|lane| {
+        let id = lane.id();
+        let mut rng = lane_rng(cfg, id);
+        let mut audits = 0u64;
+        for _ in 0..cfg.ops {
+            if id % 2 == 0 {
+                // Writer: Lock-mode transfer with a wide window between the
+                // debit and the credit. An HTM auditor that fails to
+                // subscribe to the lock can commit a sum from inside this
+                // window.
+                let a = rng.gen_range(ACCOUNTS as u64) as usize;
+                let b = (a + 1 + rng.gen_range(ACCOUNTS as u64 - 1) as usize) % ACCOUNTS;
+                let amount = 1 + rng.gen_range(5);
+                lock_ref.cs_plain(
+                    scope!("bank::transfer"),
+                    CsOptions::new().without_htm(),
+                    |_| {
+                        let from = accounts_ref[a].get();
+                        if from >= amount {
+                            accounts_ref[a].set(from - amount);
+                            tick(Event::LocalWork(500));
+                            let to = accounts_ref[b].get();
+                            accounts_ref[b].set(to + amount);
+                        }
+                    },
+                );
+            } else {
+                // Auditor: sums every account, preferably in HTM mode.
+                let sum = lock_ref.cs_plain(scope!("bank::audit"), CsOptions::new(), |_| {
+                    accounts_ref.iter().map(|c| c.get()).sum::<u64>()
+                });
+                audits += 1;
+                if sum != total {
+                    v.record(format!(
+                        "bank: audit observed sum {sum}, expected {total} (torn read of a Lock-mode transfer)"
+                    ));
+                }
+                tick(Event::LocalWork(1 + rng.gen_range(200)));
+            }
+        }
+        audits
+    });
+
+    let final_sum: u64 = accounts.iter().map(|c| c.get()).sum();
+    if final_sum != total {
+        violations.record(format!(
+            "bank: final sum {final_sum} != {total} (lost update)"
+        ));
+    }
+
+    let mut h = Fnv::new();
+    for audits in &report.results {
+        h.write_u64(*audits);
+    }
+    h.write_u64(final_sum);
+    WorkloadOutcome {
+        violations: violations.into_vec(),
+        digest: h.finish(),
+        decisions: report.decisions,
+        makespan_ns: report.makespan_ns,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SNZI: the indicator must never read empty while a surplus exists
+// ---------------------------------------------------------------------------
+
+fn run_snzi(cfg: &CheckConfig) -> WorkloadOutcome {
+    let snzi = Snzi::new(3);
+    let violations = Violations::new();
+    let v = &violations;
+    let snzi_ref = &snzi;
+    let report = sim_for(cfg).run(|lane| {
+        let id = lane.id();
+        let mut rng = lane_rng(cfg, id);
+        let mut arrivals = 0u64;
+        for i in 0..cfg.ops {
+            let guard = snzi_ref.arrive_at(id * 7 + i as usize);
+            arrivals += 1;
+            // Sound under any interleaving: our own arrival is outstanding,
+            // so the surplus is provably nonzero right now.
+            if !snzi_ref.query() {
+                v.record(format!(
+                    "snzi: query() returned empty while lane {id} held an arrival (under-count)"
+                ));
+            }
+            tick(Event::LocalWork(1 + rng.gen_range(200)));
+            drop(guard);
+        }
+        arrivals
+    });
+
+    if snzi.query() {
+        violations.record("snzi: indicator still nonzero after every arrival departed".into());
+    }
+
+    let mut h = Fnv::new();
+    for arrivals in &report.results {
+        h.write_u64(*arrivals);
+    }
+    WorkloadOutcome {
+        violations: violations.into_vec(),
+        digest: h.finish(),
+        decisions: report.decisions,
+        makespan_ns: report.makespan_ns,
+    }
+}

@@ -1,0 +1,92 @@
+//! Observer hooks on the critical-section driver, for dynamic checking.
+//!
+//! `ale-check` installs a process-wide observer before a run; the driver
+//! then reports every attempt, abort and completion as a [`CsEvent`]. The
+//! harness folds the stream into a deterministic digest (so two runs of the
+//! same seed and schedule are provably identical) and into per-mode
+//! statistics for its oracles.
+//!
+//! When no observer is installed the driver pays one relaxed atomic load
+//! per emit point; the figures run with hooks off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ale_htm::AbortCode;
+
+use crate::mode::ExecMode;
+
+/// One critical-section event, labelled with the lock it ran under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsEvent {
+    /// An attempt started in this mode.
+    Attempt { lock: &'static str, mode: ExecMode },
+    /// An HTM attempt aborted with this code.
+    HtmAbort { lock: &'static str, code: AbortCode },
+    /// A SWOpt attempt observed interference and will retry.
+    SwOptFail { lock: &'static str },
+    /// The critical section completed in this mode.
+    Complete { lock: &'static str, mode: ExecMode },
+}
+
+type Observer = Arc<dyn Fn(&CsEvent) + Send + Sync>;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static OBSERVER: Mutex<Option<Observer>> = Mutex::new(None);
+
+/// Install a process-wide critical-section observer (replacing any
+/// previous one). Callbacks run on the executing lane, under the
+/// simulator's serialisation — they must not block or tick.
+pub fn set_cs_observer(f: Observer) {
+    let mut g = OBSERVER.lock().unwrap();
+    *g = Some(f);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove the observer.
+pub fn clear_cs_observer() {
+    ENABLED.store(false, Ordering::Release);
+    OBSERVER.lock().unwrap().take();
+}
+
+/// Emit an event to the observer, if one is installed.
+#[inline]
+pub(crate) fn emit(ev: CsEvent) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_slow(&ev);
+}
+
+#[cold]
+fn emit_slow(ev: &CsEvent) {
+    let obs = OBSERVER.lock().unwrap().clone();
+    if let Some(f) = obs {
+        f(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observer_receives_events_and_clears() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        set_cs_observer(Arc::new(move |ev| sink.lock().unwrap().push(*ev)));
+        emit(CsEvent::Attempt {
+            lock: "l",
+            mode: ExecMode::Lock,
+        });
+        emit(CsEvent::Complete {
+            lock: "l",
+            mode: ExecMode::Lock,
+        });
+        clear_cs_observer();
+        emit(CsEvent::SwOptFail { lock: "l" });
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "events after clear must be dropped");
+        assert!(matches!(seen[0], CsEvent::Attempt { lock: "l", .. }));
+    }
+}

@@ -20,6 +20,7 @@ use ale_htm::AbortCode;
 use ale_sync::Backoff;
 use ale_vtime::{now, Rng};
 
+use crate::check_hooks::{emit, CsEvent};
 use crate::frame::{self, HeldKind};
 use crate::granule::Granule;
 use crate::meta::LockMeta;
@@ -315,10 +316,20 @@ fn run_protocol<T, O: LockOps + ?Sized>(
 
             rec.htm_attempts += 1;
             granule.stats.record_attempt(ExecMode::Htm, rng);
+            emit(CsEvent::Attempt {
+                lock: meta.label(),
+                mode: ExecMode::Htm,
+            });
             let t0 = measure.then(now);
             let force_bump = ale.config().force_version_bump;
             let result = ale_htm::attempt(profile, rng, || {
-                if !reentrant && ops.is_conflicting_locked() {
+                // Self-test mutation (`mut-lazy-subscription`): skipping the
+                // in-transaction lock subscription is the classic unsafe-TLE
+                // bug (Dice et al.) — ale-check's oracles must catch it.
+                if !cfg!(feature = "mut-lazy-subscription")
+                    && !reentrant
+                    && ops.is_conflicting_locked()
+                {
                     // Subscribed and held: abort, possibly retry elsewhere.
                     ale_htm::explicit_abort(AbortCode::LOCK_HELD);
                 }
@@ -338,12 +349,20 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                             .add_duration(now().saturating_sub(t0));
                     }
                     rec.mode = Some(ExecMode::Htm);
+                    emit(CsEvent::Complete {
+                        lock: meta.label(),
+                        mode: ExecMode::Htm,
+                    });
                     return v;
                 }
                 Ok(CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort) => {
                     panic!("SWOpt failure signalled while in HTM mode")
                 }
                 Err(status) => {
+                    emit(CsEvent::HtmAbort {
+                        lock: meta.label(),
+                        code: status.code,
+                    });
                     if let Some(t0) = t0 {
                         rec.htm_fail_ns += now().saturating_sub(t0);
                     }
@@ -404,6 +423,10 @@ fn run_protocol<T, O: LockOps + ?Sized>(
         for _ in 0..plan.swopt_attempts {
             rec.swopt_attempts += 1;
             granule.stats.record_attempt(ExecMode::SwOpt, rng);
+            emit(CsEvent::Attempt {
+                lock: meta.label(),
+                mode: ExecMode::SwOpt,
+            });
             let t0 = measure.then(now);
             let force_bump = ale.config().force_version_bump;
             let outcome = frame::with_frame(lock_key, ExecMode::SwOpt, || {
@@ -421,11 +444,16 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                             .add_duration(now().saturating_sub(t0));
                     }
                     rec.mode = Some(ExecMode::SwOpt);
+                    emit(CsEvent::Complete {
+                        lock: meta.label(),
+                        mode: ExecMode::SwOpt,
+                    });
                     finish(rec);
                     return v;
                 }
                 CsOutcome::SwOptFail => {
                     granule.stats.swopt_fails.inc(rng);
+                    emit(CsEvent::SwOptFail { lock: meta.label() });
                     if use_grouping && retry_guard.is_none() {
                         // Announce "SWOpt retrying" so conflicting
                         // executions defer to us (§4.2 grouping).
@@ -437,6 +465,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                     // Self abort (§3.3): stop optimistic attempts and fall
                     // through to Lock mode immediately.
                     granule.stats.swopt_fails.inc(rng);
+                    emit(CsEvent::SwOptFail { lock: meta.label() });
                     break;
                 }
             }
@@ -448,6 +477,10 @@ fn run_protocol<T, O: LockOps + ?Sized>(
         meta.grouping.wait_for_swopt_retries();
     }
     granule.stats.record_attempt(ExecMode::Lock, rng);
+    emit(CsEvent::Attempt {
+        lock: meta.label(),
+        mode: ExecMode::Lock,
+    });
     let t0 = measure.then(now);
     let force_bump = ale.config().force_version_bump;
     let outcome = if reentrant {
@@ -479,6 +512,10 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                     .add_duration(now().saturating_sub(t0));
             }
             rec.mode = Some(ExecMode::Lock);
+            emit(CsEvent::Complete {
+                lock: meta.label(),
+                mode: ExecMode::Lock,
+            });
             finish(rec);
             v
         }

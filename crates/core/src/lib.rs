@@ -52,6 +52,7 @@ use std::sync::Arc;
 use ale_sync::{RawLock, RawRwLock, TickMutex};
 use ale_vtime::{HtmProfile, Platform, Rng};
 
+pub mod check_hooks;
 pub mod cs;
 pub mod frame;
 pub mod granule;
@@ -62,6 +63,7 @@ pub mod policy;
 pub mod report;
 pub mod scope;
 
+pub use check_hooks::{clear_cs_observer, set_cs_observer, CsEvent};
 pub use cs::{CsCtx, CsOptions, CsOutcome, ABORT_NESTED_NO_HTM};
 pub use granule::{Granule, GranuleStats};
 pub use grouping::Grouping;

@@ -131,7 +131,11 @@ impl<V: Copy + Default + Send + 'static> AleHashMap<V> {
             }
             if k == key {
                 let val = node.val.get();
-                if SWOPT && !ver.validate(v) {
+                // Self-test mutation (`mut-skip-validate`): dropping the
+                // validation after copying the value lets a SWOpt reader
+                // return data from a node recycled mid-read — ale-check's
+                // value-integrity oracle must catch it.
+                if SWOPT && !cfg!(feature = "mut-skip-validate") && !ver.validate(v) {
                     return -1;
                 }
                 *ret_val = val;
@@ -237,7 +241,10 @@ impl<V: Copy + Default + Send + 'static> AleHashMap<V> {
                 }
                 // BeginConflictingAction(); unlink; EndConflictingAction();
                 let next = self.slab.node(bp).next.get();
-                let bump = cs.could_swopt_be_running();
+                // Self-test mutation (`mut-skip-version-bump`): unlinking
+                // without bumping the version makes concurrent SWOpt readers
+                // follow a recycled node unnoticed — ale-check must catch it.
+                let bump = cs.could_swopt_be_running() && !cfg!(feature = "mut-skip-version-bump");
                 if bump {
                     ver.begin_conflicting_action();
                 }
@@ -580,5 +587,12 @@ impl<V: Copy + Default + Send + 'static> AleHashMap<V> {
     /// The ALE lock protecting the table (reports, baselines).
     pub fn lock(&self) -> &AleLock<SpinLock> {
         &self.lock
+    }
+
+    /// Are all version stripes even (no conflicting region left open)?
+    /// ale-check's post-run oracle: a crash/abort path that leaves a
+    /// version odd would wedge every future SWOpt reader.
+    pub fn versions_even(&self) -> bool {
+        self.vers.iter().all(|v| v.read(false).is_multiple_of(2))
     }
 }

@@ -1,0 +1,275 @@
+//! Targeted fault injection for the transaction engine.
+//!
+//! `ale-check` (the dynamic-checking harness) installs an [`InjectPlan`]
+//! before a run; the engine then consults [`check`] at four transaction
+//! points — begin, transactional read, transactional write, and commit —
+//! and aborts with the planned [`AbortStatus`] when a rule fires. This is
+//! how the harness steers executions down the rarely-taken paths (capacity
+//! fallback, lock-held cascades, commit-time conflicts) that real
+//! best-effort HTM produces only probabilistically.
+//!
+//! The plan is process-global, behind an atomic fast-path flag so the
+//! transaction hot path pays one relaxed load when injection is off.
+//! Counters advance under a mutex, which is deterministic under the
+//! simulator (exactly one lane runs at a time) — the same plan, seed and
+//! schedule replay the same injected aborts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::abort::{AbortCode, AbortStatus};
+
+/// A transaction lifecycle point where faults can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectPoint {
+    /// Right after the transaction begins (before the body runs).
+    Begin,
+    /// On a transactional read.
+    Read,
+    /// On a transactional (buffered) write.
+    Write,
+    /// At commit entry (after the body, before publication).
+    Commit,
+}
+
+impl InjectPoint {
+    fn index(self) -> usize {
+        match self {
+            InjectPoint::Begin => 0,
+            InjectPoint::Read => 1,
+            InjectPoint::Write => 2,
+            InjectPoint::Commit => 3,
+        }
+    }
+}
+
+/// The abort class a rule injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// A data conflict (retryable).
+    Conflict,
+    /// A capacity overflow (not retryable).
+    Capacity,
+    /// A spurious micro-architectural abort (retry hint set).
+    Spurious,
+    /// The explicit "elided lock was held" abort.
+    LockHeld,
+}
+
+impl InjectKind {
+    /// The status an injected abort of this kind reports.
+    pub fn status(self) -> AbortStatus {
+        match self {
+            InjectKind::Conflict => AbortStatus::conflict(),
+            InjectKind::Capacity => AbortStatus::capacity(),
+            InjectKind::Spurious => AbortStatus::spurious(true),
+            InjectKind::LockHeld => AbortStatus::explicit(AbortCode::LOCK_HELD),
+        }
+    }
+}
+
+/// One injection rule: at `point`, abort with `kind` every `every`-th
+/// event (period-based, so one rule covers a whole run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectRule {
+    pub point: InjectPoint,
+    /// Fire when the point's event counter is a multiple of this. 0 never
+    /// fires.
+    pub every: u64,
+    pub kind: InjectKind,
+}
+
+/// A full injection plan: rules plus a global hit budget (the replay
+/// minimiser bisects `max_hits` to find the smallest failing fault count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectPlan {
+    pub rules: Vec<InjectRule>,
+    /// Stop injecting after this many hits. `u64::MAX` = unlimited.
+    pub max_hits: u64,
+}
+
+impl InjectPlan {
+    pub fn new(rules: Vec<InjectRule>) -> Self {
+        InjectPlan {
+            rules,
+            max_hits: u64::MAX,
+        }
+    }
+
+    /// Cap the number of injected aborts.
+    pub fn limited(mut self, max_hits: u64) -> Self {
+        self.max_hits = max_hits;
+        self
+    }
+}
+
+struct PlanState {
+    plan: InjectPlan,
+    /// Per-point event counters (Begin/Read/Write/Commit).
+    counts: [u64; 4],
+    hits: u64,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<PlanState>> = Mutex::new(None);
+
+/// Install `plan` process-wide. Replaces any previous plan and resets the
+/// counters. The caller (ale-check) serialises runs, so there is exactly
+/// one plan per schedule.
+pub fn install(plan: InjectPlan) {
+    let mut g = STATE.lock().unwrap();
+    *g = Some(PlanState {
+        plan,
+        counts: [0; 4],
+        hits: 0,
+    });
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Remove the active plan, returning how many aborts it injected.
+pub fn clear() -> u64 {
+    ACTIVE.store(false, Ordering::Release);
+    let mut g = STATE.lock().unwrap();
+    g.take().map_or(0, |st| st.hits)
+}
+
+/// Aborts injected by the active plan so far (0 when none is installed).
+pub fn hits() -> u64 {
+    STATE.lock().unwrap().as_ref().map_or(0, |st| st.hits)
+}
+
+/// Consult the plan at `point`. `Some(status)` means the caller must abort
+/// the current transaction with that status.
+#[inline]
+pub(crate) fn check(point: InjectPoint) -> Option<AbortStatus> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_slow(point)
+}
+
+#[cold]
+fn check_slow(point: InjectPoint) -> Option<AbortStatus> {
+    let mut g = STATE.lock().unwrap();
+    let st = g.as_mut()?;
+    let idx = point.index();
+    st.counts[idx] += 1;
+    let c = st.counts[idx];
+    if st.hits >= st.plan.max_hits {
+        return None;
+    }
+    for r in &st.plan.rules {
+        if r.point == point && r.every > 0 && c.is_multiple_of(r.every) {
+            st.hits += 1;
+            return Some(r.kind.status());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::HtmCell;
+    use crate::txn::attempt;
+    use ale_vtime::{Platform, Rng};
+    use std::sync::{Mutex as StdMutex, MutexGuard};
+
+    /// Injection state is process-global; tests must not overlap.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn profile() -> ale_vtime::HtmProfile {
+        Platform::testbed().htm.unwrap()
+    }
+
+    #[test]
+    fn begin_injection_aborts_before_the_body() {
+        let _g = serial();
+        install(InjectPlan::new(vec![InjectRule {
+            point: InjectPoint::Begin,
+            every: 1,
+            kind: InjectKind::Conflict,
+        }]));
+        let mut ran = false;
+        let r = attempt(&profile(), &mut Rng::new(1), || ran = true);
+        assert_eq!(r.unwrap_err().code, AbortCode::Conflict);
+        assert!(!ran, "the body must not run past an injected begin abort");
+        assert_eq!(clear(), 1);
+    }
+
+    #[test]
+    fn read_injection_counts_and_respects_period() {
+        let _g = serial();
+        let cells: Vec<HtmCell<u64>> = (0..6).map(HtmCell::new).collect();
+        install(InjectPlan::new(vec![InjectRule {
+            point: InjectPoint::Read,
+            every: 4,
+            kind: InjectKind::Capacity,
+        }]));
+        let r = attempt(&profile(), &mut Rng::new(1), || {
+            cells.iter().map(|c| c.get()).sum::<u64>()
+        });
+        assert_eq!(r.unwrap_err().code, AbortCode::Capacity);
+        assert_eq!(hits(), 1);
+        assert_eq!(clear(), 1);
+        // With the plan cleared the same body commits.
+        let r = attempt(&profile(), &mut Rng::new(1), || {
+            cells.iter().map(|c| c.get()).sum::<u64>()
+        });
+        assert_eq!(r.unwrap(), 15);
+    }
+
+    #[test]
+    fn commit_injection_discards_writes() {
+        let _g = serial();
+        let a = HtmCell::new(0u64);
+        install(InjectPlan::new(vec![InjectRule {
+            point: InjectPoint::Commit,
+            every: 1,
+            kind: InjectKind::LockHeld,
+        }]));
+        let r = attempt(&profile(), &mut Rng::new(1), || a.set(9));
+        assert!(r.unwrap_err().code.is_lock_held());
+        clear();
+        assert_eq!(a.get(), 0, "injected commit abort must discard writes");
+    }
+
+    #[test]
+    fn hit_budget_caps_injection() {
+        let _g = serial();
+        install(
+            InjectPlan::new(vec![InjectRule {
+                point: InjectPoint::Begin,
+                every: 1,
+                kind: InjectKind::Spurious,
+            }])
+            .limited(2),
+        );
+        let mut aborts = 0;
+        for _ in 0..5 {
+            if attempt(&profile(), &mut Rng::new(1), || ()).is_err() {
+                aborts += 1;
+            }
+        }
+        assert_eq!(aborts, 2, "only max_hits aborts may fire");
+        assert_eq!(clear(), 2);
+    }
+
+    #[test]
+    fn write_injection_fires_on_stores() {
+        let _g = serial();
+        let a = HtmCell::new(0u64);
+        install(InjectPlan::new(vec![InjectRule {
+            point: InjectPoint::Write,
+            every: 1,
+            kind: InjectKind::Conflict,
+        }]));
+        let r = attempt(&profile(), &mut Rng::new(1), || a.set(1));
+        assert_eq!(r.unwrap_err().code, AbortCode::Conflict);
+        clear();
+    }
+}

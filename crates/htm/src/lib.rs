@@ -57,10 +57,12 @@
 pub mod abort;
 pub mod besteffort;
 pub mod cell;
+pub mod inject;
 #[cfg(all(feature = "real-rtm", target_arch = "x86_64"))]
 pub mod rtm;
 pub mod txn;
 
 pub use abort::{AbortCode, AbortStatus};
 pub use cell::HtmCell;
+pub use inject::{InjectKind, InjectPlan, InjectPoint, InjectRule};
 pub use txn::{attempt, explicit_abort, in_txn, read_set_len, write_set_len};

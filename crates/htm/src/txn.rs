@@ -123,6 +123,11 @@ pub fn attempt<R>(
     init_hook();
     tick(Event::HtmBegin);
 
+    if let Some(status) = crate::inject::check(crate::inject::InjectPoint::Begin) {
+        tick(Event::HtmAbort);
+        return Err(status);
+    }
+
     let mut fm = FailureModel::new(profile.clone(), rng.fork(0x7854_6E67));
     if fm.txn_spurious() {
         tick(Event::HtmAbort);
@@ -149,7 +154,10 @@ pub fn attempt<R>(
         .expect("transaction state vanished");
 
     let result = match outcome {
-        Ok(value) => match commit(&st) {
+        Ok(value) => match crate::inject::check(crate::inject::InjectPoint::Commit)
+            .map(Err)
+            .unwrap_or_else(|| commit(&st))
+        {
             Ok(()) => {
                 tick(Event::HtmCommit);
                 Ok(value)
@@ -191,6 +199,9 @@ fn recycle(mut st: TxState) {
 /// Transactional read of `cell` (called from `HtmCell::get`).
 pub(crate) fn tx_read<T: Copy>(cell: &HtmCell<T>) -> T {
     tick(Event::SharedLoad);
+    if let Some(status) = crate::inject::check(crate::inject::InjectPoint::Read) {
+        do_abort(status);
+    }
     TX.with(|slot| {
         let mut borrow = slot.borrow_mut();
         let tx = borrow.as_mut().expect("tx_read outside transaction");
@@ -235,6 +246,9 @@ pub(crate) fn tx_read<T: Copy>(cell: &HtmCell<T>) -> T {
 /// Transactional (buffered) write of `cell` (called from `HtmCell::set`).
 pub(crate) fn tx_write<T: Copy>(cell: &HtmCell<T>, value: T) {
     tick(Event::SharedStore);
+    if let Some(status) = crate::inject::check(crate::inject::InjectPoint::Write) {
+        do_abort(status);
+    }
     TX.with(|slot| {
         let mut borrow = slot.borrow_mut();
         let tx = borrow.as_mut().expect("tx_write outside transaction");

@@ -133,6 +133,15 @@ impl AleCacheDb {
         }
         Ok(false)
     }
+
+    /// Are all slot versions even (no conflicting region left open)?
+    /// ale-check's post-run oracle: an odd version after quiescence would
+    /// wedge every future optimistic reader.
+    pub fn versions_even(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|ds| ds.store.ver.read(false).is_multiple_of(2))
+    }
 }
 
 impl KyotoDb for AleCacheDb {

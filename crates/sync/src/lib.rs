@@ -26,6 +26,7 @@
 //! same code runs on real threads and under the deterministic simulator.
 
 pub mod backoff;
+pub mod chaos;
 pub mod clh;
 pub mod counters;
 pub mod mutex;

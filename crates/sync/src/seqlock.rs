@@ -60,11 +60,15 @@ impl SeqVersion {
     pub fn begin_conflicting_action(&self) {
         let v = self.v.get();
         self.v.set(v.wrapping_add(1));
+        // Chaos point (no-op unless ale-check enables it): stretch the
+        // odd-version window so adversarial schedules land inside it.
+        crate::chaos::stall();
     }
 
     /// Mark the end of the conflicting region.
     #[inline]
     pub fn end_conflicting_action(&self) {
+        crate::chaos::stall();
         let v = self.v.get();
         self.v.set(v.wrapping_add(1));
     }

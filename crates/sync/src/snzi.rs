@@ -188,7 +188,14 @@ impl Snzi {
             if cur.0 == HALF {
                 // Someone (possibly us) is mid-transition: help by arriving
                 // at the parent, then try to finalise ½ -> 1.
-                self.parent_arrive(i);
+                // Chaos point: stretch the transient ½ window under ale-check.
+                crate::chaos::stall();
+                // Self-test mutation (`mut-snzi-skip-half`): forgetting the
+                // parent arrival on the ½ transition makes the root
+                // under-count — ale-check's SNZI oracle must catch this.
+                if !cfg!(feature = "mut-snzi-skip-half") {
+                    self.parent_arrive(i);
+                }
                 tick(Event::Cas);
                 if node
                     .x
@@ -205,7 +212,9 @@ impl Snzi {
             }
         }
         while undo > 0 {
-            self.parent_depart(i);
+            if !cfg!(feature = "mut-snzi-skip-half") {
+                self.parent_depart(i);
+            }
             undo -= 1;
         }
     }

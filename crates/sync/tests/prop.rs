@@ -1,7 +1,8 @@
 //! Property-based tests for the synchronisation substrates.
 
+use ale_htm::HtmCell;
 use ale_sync::{RawLock, RawRwLock, RwLock, SeqVersion, Snzi, SpinLock, StatCounter, TicketLock};
-use ale_vtime::Rng;
+use ale_vtime::{tick, Event, Platform, Rng, Sim};
 use proptest::prelude::*;
 
 proptest! {
@@ -65,6 +66,82 @@ proptest! {
                 prop_assert!(v.validate(snap), "no action: snapshot stays valid");
             }
         }
+    }
+
+    /// SeqVersion: balanced conflicting regions keep the version word even
+    /// at rest and advance it by exactly 2 per region, so the region count
+    /// is always recoverable from the version.
+    #[test]
+    fn seqversion_parity_and_region_count(regions in 1usize..50) {
+        let v = SeqVersion::new();
+        for i in 0..regions as u64 {
+            let snap = v.read(true);
+            prop_assert!(snap.is_multiple_of(2));
+            prop_assert_eq!(snap, 2 * i);
+            v.begin_conflicting_action();
+            prop_assert_eq!(v.read(false), 2 * i + 1, "odd inside the region");
+            v.end_conflicting_action();
+            prop_assert!(!v.validate(snap), "a completed region must invalidate");
+        }
+        prop_assert_eq!(v.read(true), 2 * regions as u64);
+    }
+
+    /// Reader-validation soundness under real interleavings: for any seed,
+    /// a reader whose `validate` passed must have observed consistent data
+    /// — the writer only breaks the `a == b` invariant inside conflicting
+    /// regions, so a torn pair that survives validation is a protocol bug.
+    #[test]
+    fn seqversion_readers_validate_soundly(seed in any::<u64>()) {
+        let ver = SeqVersion::new();
+        let a = HtmCell::new(0u64);
+        let b = HtmCell::new(0u64);
+        Sim::new(Platform::testbed(), 3).with_seed(seed).run(|lane| {
+            let mut rng = Rng::new(seed ^ (lane.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if lane.id() == 0 {
+                // Sole writer: exclusion comes from single ownership, as the
+                // lock provides it in the real protocol.
+                for i in 1..=40u64 {
+                    ver.begin_conflicting_action();
+                    a.set(i);
+                    tick(Event::LocalWork(1 + rng.gen_range(80)));
+                    b.set(i);
+                    ver.end_conflicting_action();
+                    tick(Event::LocalWork(1 + rng.gen_range(120)));
+                }
+            } else {
+                for _ in 0..60 {
+                    let snap = ver.read(true);
+                    let x = a.get();
+                    let y = b.get();
+                    if ver.validate(snap) {
+                        assert_eq!(x, y, "validated read must be consistent");
+                    }
+                    tick(Event::LocalWork(1 + rng.gen_range(60)));
+                }
+            }
+        });
+        prop_assert!(ver.read(false).is_multiple_of(2), "even at quiescence");
+    }
+
+    /// SNZI under concurrent schedules: the indicator must never read
+    /// empty while any lane holds an arrival, and must read empty once
+    /// every lane departed — for any seed and tree depth.
+    #[test]
+    fn snzi_concurrent_stress(seed in any::<u64>(), levels in 0u32..4) {
+        let s = Snzi::new(levels);
+        Sim::new(Platform::testbed(), 4).with_seed(seed).run(|lane| {
+            let mut rng = Rng::new(seed ^ (lane.id() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for i in 0..30usize {
+                let guard = s.arrive_at(lane.id() * 31 + i);
+                // Our own arrival is outstanding: the surplus is provably
+                // nonzero right now, whatever the other lanes are doing.
+                assert!(s.query(), "indicator empty while an arrival is held");
+                tick(Event::LocalWork(1 + rng.gen_range(100)));
+                drop(guard);
+                tick(Event::LocalWork(1 + rng.gen_range(50)));
+            }
+        });
+        prop_assert!(!s.query(), "indicator nonzero after all departures");
     }
 
     /// Locks: any acquire/release interleaving driven sequentially keeps
@@ -140,4 +217,53 @@ proptest! {
             prop_assert_eq!(l.reader_count(), readers as u64);
         }
     }
+}
+
+/// BFP counter: the estimate is unbiased — across a fleet of deterministic
+/// seeds every estimate stays within the single-run error bound, and the
+/// fleet mean lands much tighter (the expected value is the true count).
+#[test]
+fn counter_expected_value_deterministic() {
+    let n = 100_000u64;
+    let seeds = 16u64;
+    let mut sum = 0.0;
+    for seed in 1..=seeds {
+        let c = StatCounter::new();
+        let mut rng = Rng::new(seed);
+        for _ in 0..n {
+            c.inc(&mut rng);
+        }
+        let est = c.read() as f64;
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.10, "seed {seed}: est {est} err {err:.4}");
+        sum += est;
+    }
+    let mean = sum / seeds as f64;
+    let err = (mean - n as f64).abs() / n as f64;
+    assert!(
+        err < 0.03,
+        "fleet mean {mean:.0} over {seeds} seeds must be unbiased (err {err:.4})"
+    );
+}
+
+/// The exact→sampled transition: counts are exactly right up to the
+/// mantissa threshold, and the first halving still projects the true count
+/// — the paper's "accurate even after relatively small numbers of events".
+#[test]
+fn counter_saturation_edge_is_exact() {
+    let c = StatCounter::new();
+    let mut rng = Rng::new(42);
+    let mut n = 0u64;
+    while c.is_exact() {
+        assert_eq!(c.read(), n, "exact regime must be exact");
+        c.inc(&mut rng);
+        n += 1;
+        assert!(n < 1 << 20, "exact regime never ended");
+    }
+    assert_eq!(
+        c.read(),
+        n,
+        "the first mantissa halving must still project the true count"
+    );
+    assert_eq!(n, 2 << 12, "mantissa threshold moved: update this test");
 }

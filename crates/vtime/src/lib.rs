@@ -53,5 +53,5 @@ pub mod zipf;
 pub use clock::{is_simulated, lane_id, now, tick, tick_n, Event};
 pub use platform::{CostModel, HtmProfile, Platform, PlatformKind};
 pub use rng::Rng;
-pub use sched::{Lane, Sim, SimReport};
+pub use sched::{Lane, SchedStrategy, Sim, SimReport};
 pub use zipf::Zipf;

@@ -13,6 +13,20 @@
 //! simulation); every wait in the ALE stack is a spin that calls
 //! [`tick`](crate::tick) each iteration, so waiting lanes keep advancing
 //! their clocks and the scheduler keeps rotating.
+//!
+//! ## Adversarial strategies
+//!
+//! The default [`SchedStrategy::LowestClock`] is the exact conservative
+//! simulation described above, and its event order is untouched by the
+//! strategy machinery (the figures depend on that). The other strategies
+//! turn the scheduler into a schedule-exploration engine for `ale-check`:
+//! every costed tick becomes a *decision point*, and the scheduler picks
+//! the next lane among all runnable lanes whose clock lies within a bounded
+//! window of the minimum. The window is what keeps every lane live — a
+//! starved minimum-clock lane eventually becomes the only candidate.
+//! Decisions draw from a dedicated scheduler [`Rng`], and an optional
+//! *perturbation limit* caps how many decisions deviate from lowest-clock
+//! order, which is the knob replay minimisation bisects.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -21,6 +35,68 @@ use std::sync::{Arc, Condvar, Mutex};
 use crate::clock::{clear_lane, install_lane, Event};
 use crate::platform::Platform;
 use crate::rng::Rng;
+
+/// How the scheduler picks the next lane at each decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedStrategy {
+    /// Conservative lowest-clock-first (the default). Event order is
+    /// identical to a parallel execution in virtual time and bit-for-bit
+    /// reproducible; all figures use this.
+    #[default]
+    LowestClock,
+    /// Random-walk tie-breaking: at every costed tick, pick uniformly among
+    /// runnable lanes within `window_ns` of the lowest runnable clock.
+    RandomWalk {
+        /// Eligibility window above the minimum runnable clock.
+        window_ns: u64,
+    },
+    /// Preemption-point perturbation: follow lowest-clock order, but with
+    /// probability `permille`/1000 per decision take a random eligible lane
+    /// instead (a perturbed preemption point).
+    Preempt {
+        /// Eligibility window above the minimum runnable clock.
+        window_ns: u64,
+        /// Per-decision perturbation probability, in permille.
+        permille: u64,
+    },
+    /// Conflict heuristic: prefer the eligible lane with the highest recent
+    /// shared-memory traffic (CASes, shared stores, HTM events), decayed on
+    /// every yield. Greedy "pick the most-conflicting thread".
+    MostConflicting {
+        /// Eligibility window above the minimum runnable clock.
+        window_ns: u64,
+    },
+}
+
+impl SchedStrategy {
+    /// Does this strategy take over lane selection (vs. the exact default)?
+    #[inline]
+    pub fn is_adversarial(&self) -> bool {
+        !matches!(self, SchedStrategy::LowestClock)
+    }
+
+    /// The eligibility window (0 for the default strategy).
+    pub fn window_ns(&self) -> u64 {
+        match *self {
+            SchedStrategy::LowestClock => 0,
+            SchedStrategy::RandomWalk { window_ns }
+            | SchedStrategy::Preempt { window_ns, .. }
+            | SchedStrategy::MostConflicting { window_ns } => window_ns,
+        }
+    }
+}
+
+/// Conflict-score weight of an event (adversarial strategies only): how
+/// strongly it suggests the lane is racing on shared state.
+fn conflict_weight(ev: Event) -> u64 {
+    match ev {
+        Event::Cas | Event::LockHandoff => 4,
+        Event::SharedStore => 3,
+        Event::HtmBegin | Event::HtmCommit | Event::HtmAbort => 2,
+        Event::SharedLoad => 1,
+        _ => 0,
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Status {
@@ -32,11 +108,28 @@ enum Status {
     Done,
 }
 
+/// Outcome of one scheduling decision.
+enum Pick {
+    /// Keep running the current lane until its clock passes the horizon.
+    Continue(u64),
+    /// Hand the CPU to this lane.
+    HandOff(usize),
+}
+
 struct SchedState {
     clocks: Vec<u64>,
     status: Vec<Status>,
     live: usize,
     switches: u64,
+    /// Decision stream for adversarial strategies (under the state mutex;
+    /// exactly one lane runs at a time, so draws are deterministic).
+    srng: Rng,
+    /// Adversarial decisions taken so far.
+    decisions: u64,
+    /// Decisions beyond this fall back to lowest-clock order.
+    perturb_limit: u64,
+    /// Per-lane decayed conflict scores (MostConflicting).
+    scores: Vec<u64>,
 }
 
 pub(crate) struct SimShared {
@@ -44,6 +137,9 @@ pub(crate) struct SimShared {
     cvs: Vec<Condvar>,
     platform: Platform,
     slack_ns: u64,
+    strategy: SchedStrategy,
+    /// Cached `strategy.is_adversarial()` for the tick fast path.
+    adversarial: bool,
 }
 
 /// Per-lane context installed in thread-local storage while the lane runs.
@@ -53,6 +149,8 @@ pub(crate) struct LaneCtx {
     clock: Cell<u64>,
     /// The lane may keep running lock-free while `clock <= limit`.
     limit: Cell<u64>,
+    /// Conflict weight accumulated since the last yield (adversarial only).
+    conflict: Cell<u64>,
 }
 
 impl LaneCtx {
@@ -69,6 +167,10 @@ impl LaneCtx {
     #[inline]
     pub(crate) fn tick(&self, ev: Event) {
         let cost = self.shared.platform.costs.cost(ev);
+        if self.shared.adversarial {
+            self.conflict
+                .set(self.conflict.get().saturating_add(conflict_weight(ev)));
+        }
         let c = self.clock.get().saturating_add(cost);
         self.clock.set(c);
         if c > self.limit.get() {
@@ -79,6 +181,10 @@ impl LaneCtx {
     #[inline]
     pub(crate) fn tick_n(&self, ev: Event, n: u64) {
         let cost = self.shared.platform.costs.cost(ev).saturating_mul(n);
+        if self.shared.adversarial {
+            self.conflict
+                .set(self.conflict.get().saturating_add(conflict_weight(ev)));
+        }
         let c = self.clock.get().saturating_add(cost);
         self.clock.set(c);
         if c > self.limit.get() {
@@ -100,22 +206,102 @@ impl LaneCtx {
         best
     }
 
+    /// The horizon a freshly-scheduled lane may run to. Adversarial modes
+    /// pin it to the lane's own clock so every costed tick re-decides.
+    fn wake_horizon(shared: &SimShared, state: &SchedState, me: usize) -> u64 {
+        if shared.adversarial {
+            state.clocks[me]
+        } else {
+            Self::min_runnable_other(state, me)
+                .map(|(_, c)| c.saturating_add(shared.slack_ns))
+                .unwrap_or(u64::MAX)
+        }
+    }
+
+    /// One scheduling decision for lane `me` (which is currently Running and
+    /// just passed its horizon).
+    fn pick_next(shared: &SimShared, state: &mut SchedState, me: usize) -> Pick {
+        let my_clock = state.clocks[me];
+        let conservative = |state: &SchedState| match Self::min_runnable_other(state, me) {
+            None => Pick::Continue(u64::MAX),
+            Some((_, mc)) if mc >= my_clock => Pick::Continue(mc.saturating_add(shared.slack_ns)),
+            Some((m, _)) => Pick::HandOff(m),
+        };
+        if !shared.adversarial {
+            return conservative(state);
+        }
+        if Self::min_runnable_other(state, me).is_none() {
+            // Alone: no decision to make, run unthrottled.
+            return Pick::Continue(u64::MAX);
+        }
+        if state.decisions >= state.perturb_limit {
+            // Past the perturbation budget: exact lowest-clock order (the
+            // replay minimiser bisects this boundary). Keep the horizon
+            // tight anyway so the decision count stays comparable.
+            return match conservative(state) {
+                Pick::Continue(_) => Pick::Continue(my_clock),
+                h => h,
+            };
+        }
+        state.decisions += 1;
+        let window = shared.strategy.window_ns();
+        // Eligible lanes: runnable peers (and this lane) within `window` of
+        // the lowest such clock.
+        let eligible =
+            |state: &SchedState, i: usize| state.status[i] == Status::Runnable || i == me;
+        let floor = (0..state.clocks.len())
+            .filter(|&i| eligible(state, i))
+            .map(|i| state.clocks[i])
+            .min()
+            .unwrap_or(my_clock);
+        let cand: Vec<usize> = (0..state.clocks.len())
+            .filter(|&i| eligible(state, i) && state.clocks[i] <= floor.saturating_add(window))
+            .collect();
+        let lowest =
+            |state: &SchedState| *cand.iter().min_by_key(|&&i| (state.clocks[i], i)).unwrap();
+        let random =
+            |state: &mut SchedState| cand[state.srng.gen_range(cand.len() as u64) as usize];
+        let pick = match shared.strategy {
+            SchedStrategy::LowestClock => unreachable!("not adversarial"),
+            SchedStrategy::RandomWalk { .. } => random(state),
+            SchedStrategy::Preempt { permille, .. } => {
+                if state.srng.gen_ratio(permille, 1000) {
+                    random(state)
+                } else {
+                    lowest(state)
+                }
+            }
+            SchedStrategy::MostConflicting { .. } => *cand
+                .iter()
+                .max_by_key(|&&i| {
+                    (
+                        state.scores[i],
+                        std::cmp::Reverse(state.clocks[i]),
+                        std::cmp::Reverse(i),
+                    )
+                })
+                .unwrap(),
+        };
+        if pick == me {
+            Pick::Continue(my_clock)
+        } else {
+            Pick::HandOff(pick)
+        }
+    }
+
     #[cold]
     fn yield_slow(&self) {
         let shared = &*self.shared;
         let mut state = shared.state.lock().unwrap();
         state.clocks[self.id] = self.clock.get();
-        match Self::min_runnable_other(&state, self.id) {
-            None => {
-                // Alone: run unthrottled.
-                self.limit.set(u64::MAX);
-            }
-            Some((_, mc)) if mc >= self.clock.get() => {
-                // Still the (weakly) lowest clock: raise the horizon.
-                self.limit.set(mc.saturating_add(shared.slack_ns));
-            }
-            Some((m, _)) => {
-                // Hand off to the lane with the lowest clock.
+        if shared.adversarial {
+            // Decay the old score and fold in traffic since the last yield.
+            let fresh = self.conflict.replace(0);
+            state.scores[self.id] = state.scores[self.id] / 2 + fresh;
+        }
+        match Self::pick_next(shared, &mut state, self.id) {
+            Pick::Continue(horizon) => self.limit.set(horizon),
+            Pick::HandOff(m) => {
                 state.status[self.id] = Status::Runnable;
                 state.status[m] = Status::Running;
                 state.switches += 1;
@@ -123,9 +309,7 @@ impl LaneCtx {
                 while state.status[self.id] != Status::Running {
                     state = shared.cvs[self.id].wait(state).unwrap();
                 }
-                let horizon = Self::min_runnable_other(&state, self.id)
-                    .map(|(_, c)| c.saturating_add(shared.slack_ns))
-                    .unwrap_or(u64::MAX);
+                let horizon = Self::wake_horizon(shared, &state, self.id);
                 self.limit.set(horizon);
             }
         }
@@ -138,9 +322,7 @@ impl LaneCtx {
         while state.status[self.id] != Status::Running {
             state = shared.cvs[self.id].wait(state).unwrap();
         }
-        let horizon = Self::min_runnable_other(&state, self.id)
-            .map(|(_, c)| c.saturating_add(shared.slack_ns))
-            .unwrap_or(u64::MAX);
+        let horizon = Self::wake_horizon(shared, &state, self.id);
         self.limit.set(horizon);
     }
 }
@@ -214,6 +396,10 @@ pub struct SimReport<T> {
     pub lane_clocks: Vec<u64>,
     /// Number of lane-to-lane handoffs the scheduler performed.
     pub switches: u64,
+    /// Adversarial scheduling decisions taken (0 under
+    /// [`SchedStrategy::LowestClock`]). Replay minimisation bisects a
+    /// perturbation limit against this count.
+    pub decisions: u64,
 }
 
 impl<T> SimReport<T> {
@@ -232,6 +418,9 @@ pub struct Sim {
     n: usize,
     slack_ns: u64,
     seed: u64,
+    strategy: SchedStrategy,
+    sched_seed: Option<u64>,
+    perturb_limit: u64,
 }
 
 impl Sim {
@@ -250,6 +439,9 @@ impl Sim {
             n,
             slack_ns: 0,
             seed: 0x9E3779B97F4A7C15,
+            strategy: SchedStrategy::LowestClock,
+            sched_seed: None,
+            perturb_limit: u64::MAX,
         }
     }
 
@@ -268,6 +460,30 @@ impl Sim {
         self
     }
 
+    /// Scheduling strategy. The default, [`SchedStrategy::LowestClock`], is
+    /// exact conservative simulation; the others explore adversarial
+    /// interleavings (see the module docs) and ignore `with_slack`.
+    pub fn with_strategy(mut self, strategy: SchedStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Separate seed for the scheduler's decision stream, so the same
+    /// workload (same `with_seed`) can run under many distinct schedules.
+    /// Defaults to a stream derived from the run seed.
+    pub fn with_sched_seed(mut self, seed: u64) -> Self {
+        self.sched_seed = Some(seed);
+        self
+    }
+
+    /// Cap the number of adversarial decisions; later ones fall back to
+    /// lowest-clock order. `u64::MAX` (the default) is unlimited. Replay
+    /// minimisation bisects this to find the shortest failing prefix.
+    pub fn with_perturb_limit(mut self, limit: u64) -> Self {
+        self.perturb_limit = limit;
+        self
+    }
+
     /// Run `body` once per lane and collect the report.
     ///
     /// `body` is shared by all lanes; lane-specific state comes from the
@@ -279,6 +495,7 @@ impl Sim {
         F: Fn(&mut Lane) -> T + Sync,
     {
         let n = self.n;
+        let sched_seed = self.sched_seed.unwrap_or(self.seed ^ 0x5C4E_D01E_AD5E_ED00);
         let shared = Arc::new(SimShared {
             state: Mutex::new(SchedState {
                 clocks: vec![0; n],
@@ -289,10 +506,16 @@ impl Sim {
                 },
                 live: n,
                 switches: 0,
+                srng: Rng::new(sched_seed),
+                decisions: 0,
+                perturb_limit: self.perturb_limit,
+                scores: vec![0; n],
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
             platform: self.platform,
             slack_ns: self.slack_ns,
+            strategy: self.strategy,
+            adversarial: self.strategy.is_adversarial(),
         });
 
         let body = &body;
@@ -307,6 +530,7 @@ impl Sim {
                             id,
                             clock: Cell::new(0),
                             limit: Cell::new(0),
+                            conflict: Cell::new(0),
                         });
                         install_lane(Rc::clone(&ctx));
                         ctx.wait_until_scheduled();
@@ -333,6 +557,7 @@ impl Sim {
             makespan_ns: state.clocks.iter().copied().max().unwrap_or(0),
             lane_clocks: state.clocks.clone(),
             switches: state.switches,
+            decisions: state.decisions,
         }
     }
 }
@@ -504,6 +729,138 @@ mod tests {
     #[should_panic(expected = "at least one lane")]
     fn zero_lanes_rejected() {
         let _ = Sim::new(testbed(), 0);
+    }
+
+    fn strategy_trace(strategy: SchedStrategy, sched_seed: u64) -> Vec<(usize, u64)> {
+        let order = Mutex::new(Vec::new());
+        Sim::new(testbed(), 4)
+            .with_strategy(strategy)
+            .with_sched_seed(sched_seed)
+            .run(|lane| {
+                for step in 0..40u64 {
+                    tick(Event::LocalWork(10 + (lane.id() as u64) * 7 + step % 3));
+                    order.lock().unwrap().push((lane.id(), step));
+                }
+            });
+        order.into_inner().unwrap()
+    }
+
+    #[test]
+    fn adversarial_strategies_are_deterministic() {
+        for strategy in [
+            SchedStrategy::RandomWalk { window_ns: 500 },
+            SchedStrategy::Preempt {
+                window_ns: 500,
+                permille: 300,
+            },
+            SchedStrategy::MostConflicting { window_ns: 500 },
+        ] {
+            assert_eq!(
+                strategy_trace(strategy, 7),
+                strategy_trace(strategy, 7),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sched_seed_changes_random_walk_interleaving() {
+        let strategy = SchedStrategy::RandomWalk { window_ns: 500 };
+        let a = strategy_trace(strategy, 1);
+        let b = strategy_trace(strategy, 2);
+        assert_ne!(a, b, "different sched seeds must explore new schedules");
+        // Every schedule still runs every step of every lane exactly once.
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        let mut expect: Vec<(usize, u64)> =
+            (0..4).flat_map(|l| (0..40).map(move |s| (l, s))).collect();
+        expect.sort_unstable();
+        assert_eq!(sa, expect);
+    }
+
+    #[test]
+    fn random_walk_differs_from_lowest_clock() {
+        let base = {
+            let order = Mutex::new(Vec::new());
+            Sim::new(testbed(), 4).run(|lane| {
+                for step in 0..40u64 {
+                    tick(Event::LocalWork(10 + (lane.id() as u64) * 7 + step % 3));
+                    order.lock().unwrap().push((lane.id(), step));
+                }
+            });
+            order.into_inner().unwrap()
+        };
+        let walk = strategy_trace(SchedStrategy::RandomWalk { window_ns: 500 }, 3);
+        assert_ne!(base, walk, "adversarial schedule must deviate");
+    }
+
+    #[test]
+    fn perturb_limit_zero_recovers_lowest_clock_order() {
+        // With the perturbation budget exhausted from the start, an
+        // adversarial run commits events in exact lowest-clock order.
+        let trace = |strategy: Option<SchedStrategy>| {
+            let order = Mutex::new(Vec::new());
+            let mut sim = Sim::new(testbed(), 4);
+            if let Some(s) = strategy {
+                sim = sim.with_strategy(s).with_perturb_limit(0);
+            }
+            sim.run(|lane| {
+                for step in 0..40u64 {
+                    tick(Event::LocalWork(10 + (lane.id() as u64) * 7 + step % 3));
+                    order.lock().unwrap().push((lane.id(), step));
+                }
+            });
+            order.into_inner().unwrap()
+        };
+        assert_eq!(
+            trace(None),
+            trace(Some(SchedStrategy::RandomWalk { window_ns: 500 })),
+        );
+    }
+
+    #[test]
+    fn decisions_are_counted_and_bounded_runs_terminate() {
+        let r = Sim::new(testbed(), 4)
+            .with_strategy(SchedStrategy::MostConflicting { window_ns: 200 })
+            .run(|_| {
+                for _ in 0..50 {
+                    tick(Event::Cas);
+                    tick(Event::LocalWork(30));
+                }
+            });
+        assert!(r.decisions > 0, "adversarial runs must record decisions");
+        let base = Sim::new(testbed(), 4).run(|_| {
+            for _ in 0..50 {
+                tick(Event::Cas);
+                tick(Event::LocalWork(30));
+            }
+        });
+        assert_eq!(base.decisions, 0, "default scheduling takes no decisions");
+    }
+
+    #[test]
+    fn adversarial_spin_waits_still_make_progress() {
+        // The bounded window guarantees a starved lane eventually runs even
+        // under random scheduling: lane 1 spins until lane 0 sets the flag.
+        let flag = AtomicU64::new(0);
+        Sim::new(testbed(), 2)
+            .with_strategy(SchedStrategy::RandomWalk { window_ns: 300 })
+            .run(|lane| {
+                if lane.id() == 0 {
+                    for _ in 0..100 {
+                        tick(Event::LocalWork(100));
+                    }
+                    flag.store(1, Ordering::Release);
+                    tick(Event::SharedStore);
+                } else {
+                    let mut spins = 0u64;
+                    while flag.load(Ordering::Acquire) == 0 {
+                        tick(Event::SharedLoad);
+                        spins += 1;
+                        assert!(spins < 1_000_000, "spinner starved");
+                    }
+                }
+            });
     }
 }
 

@@ -211,6 +211,145 @@ fn adaptive_learns_small_x_on_rock() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Golden CSV shapes: the figure generators' actual output artifacts
+// ---------------------------------------------------------------------------
+
+/// One parsed `platform,mix,variant,threads,mops` row.
+struct CsvRow {
+    platform: String,
+    mix: String,
+    variant: String,
+    threads: usize,
+    mops: f64,
+}
+
+fn parse_figure_csv(csv: &str) -> Vec<CsvRow> {
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("platform,mix,variant,threads,mops"),
+        "figure CSV header changed"
+    );
+    lines
+        .map(|l| {
+            let f: Vec<&str> = l.split(',').collect();
+            assert_eq!(f.len(), 5, "malformed row: {l}");
+            CsvRow {
+                platform: f[0].into(),
+                mix: f[1].into(),
+                variant: f[2].into(),
+                threads: f[3].parse().expect("threads"),
+                mops: f[4].parse().expect("mops"),
+            }
+        })
+        .collect()
+}
+
+fn mops_at(
+    rows: &[CsvRow],
+    platform: &str,
+    mix_prefix: &str,
+    variant: &str,
+    threads: usize,
+) -> f64 {
+    rows.iter()
+        .find(|r| {
+            r.platform == platform
+                && r.mix.starts_with(mix_prefix)
+                && r.variant == variant
+                && r.threads == threads
+        })
+        .unwrap_or_else(|| panic!("missing row {platform}/{mix_prefix}*/{variant}/t={threads}"))
+        .mops
+}
+
+/// Figure 2's CSV (quick grid): the emitted artifact itself must carry the
+/// paper's qualitative shape — a complete grid of positive throughputs, a
+/// flat lock curve, and TLE scaling past the lock at full cores.
+#[test]
+fn fig2_csv_golden_shape() {
+    let table = ale_bench::figures::fig2(ale_bench::figures::FigOpts {
+        quick: true,
+        ..Default::default()
+    });
+    assert_eq!(table.id, "fig2_hashmap_haswell");
+    let rows = parse_figure_csv(&table.to_csv());
+    // Grid completeness: 3 mixes x 6 variants x threads {1, 4, 8}.
+    assert_eq!(rows.len(), 3 * 6 * 3, "fig2 quick grid changed shape");
+    for r in &rows {
+        assert_eq!(r.platform, "haswell");
+        assert!(
+            r.mops.is_finite() && r.mops > 0.0,
+            "non-physical throughput in {}/{}/t={}",
+            r.mix,
+            r.variant,
+            r.threads
+        );
+    }
+    // The single lock must not scale; TLE must, and must win at 8 threads.
+    let lock1 = mops_at(&rows, "haswell", "2i/2r", "Instrumented", 1);
+    let lock8 = mops_at(&rows, "haswell", "2i/2r", "Instrumented", 8);
+    let hl1 = mops_at(&rows, "haswell", "2i/2r", "Static-HL-5", 1);
+    let hl8 = mops_at(&rows, "haswell", "2i/2r", "Static-HL-5", 8);
+    assert!(
+        lock8 < lock1 * 2.0,
+        "lock curve must stay flat: {lock1} -> {lock8}"
+    );
+    assert!(hl8 > hl1 * 3.0, "TLE curve must rise: {hl1} -> {hl8}");
+    assert!(hl8 > lock8 * 2.0, "TLE must beat the lock at 8 threads");
+}
+
+/// Figure 5's CSV (quick grid): both platforms present, and the T2-2
+/// crossover — hand-tuned trylockspin wins at one thread, elision wins at
+/// scale — visible in the emitted rows.
+#[test]
+fn fig5_csv_golden_shape() {
+    let table = ale_bench::figures::fig5(ale_bench::figures::FigOpts {
+        quick: true,
+        ..Default::default()
+    });
+    assert_eq!(table.id, "fig5_kyoto_wicked");
+    let rows = parse_figure_csv(&table.to_csv());
+    for r in &rows {
+        assert_eq!(r.mix, "wicked");
+        assert!(
+            r.mops.is_finite() && r.mops > 0.0,
+            "non-physical throughput in {}/{}/t={}",
+            r.platform,
+            r.variant,
+            r.threads
+        );
+    }
+    // Grid completeness: haswell (6 variants x {1,4,8}) + t2 (4 variants x
+    // {1,4,8,16,32,64}).
+    assert_eq!(
+        rows.iter().filter(|r| r.platform == "haswell").count(),
+        6 * 3
+    );
+    assert_eq!(rows.iter().filter(|r| r.platform == "t2").count(), 4 * 6);
+    // T2-2 crossover (the paper's Figure 5 story).
+    let base1 = mops_at(&rows, "t2", "wicked", "Uninstrumented", 1);
+    let sl1 = mops_at(&rows, "t2", "wicked", "Static-SL-10", 1);
+    let base64 = mops_at(&rows, "t2", "wicked", "Uninstrumented", 64);
+    let sl64 = mops_at(&rows, "t2", "wicked", "Static-SL-10", 64);
+    assert!(
+        base1 > sl1,
+        "1 thread: trylockspin wins ({base1:.2} vs {sl1:.2})"
+    );
+    assert!(
+        sl64 > base64 * 1.2,
+        "64 threads: elision wins ({sl64:.2} vs {base64:.2})"
+    );
+    // Haswell: hardware elision must beat the plain lock at full cores.
+    let hsw_lock8 = mops_at(&rows, "haswell", "wicked", "Instrumented", 8);
+    let hsw_hl8 = mops_at(&rows, "haswell", "wicked", "Static-HL-5", 8);
+    assert!(
+        hsw_hl8 > hsw_lock8 * 1.5,
+        "haswell t=8: HTM elision must beat the lock ({hsw_hl8:.2} vs {hsw_lock8:.2})"
+    );
+}
+
 /// Determinism: the whole stack replays bit-identically for a fixed seed.
 #[test]
 fn end_to_end_determinism() {
