@@ -17,8 +17,10 @@
 
 pub mod figures;
 pub mod harness;
+pub mod storm;
 pub mod variant;
 
 pub use harness::run_hashmap_mods;
 pub use harness::{run_hashmap, run_kyoto, HashMapWorkload, RunResult};
+pub use storm::{run_storm, StormConfig, StormResult};
 pub use variant::{Mods, Variant};

@@ -270,6 +270,33 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
                 h.write(&[4, mode.index() as u8]);
                 h.write(lock.as_bytes());
             }
+            CsEvent::Panicked { lock, mode } => {
+                h.write(&[5, mode.index() as u8]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::Poisoned { lock } => {
+                h.write(&[6]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::ProtocolError { lock, error } => {
+                h.write(&[7, error as u8]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::BreakerTrip { lock } => {
+                h.write(&[8]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::BreakerRestore { lock } => {
+                h.write(&[9]);
+                h.write(lock.as_bytes());
+            }
+            CsEvent::LockStall { lock, waited_ns } => {
+                // The wait length depends on scheduling alone; the digest
+                // keeps only the fact that a stall was reported.
+                let _ = waited_ns;
+                h.write(&[10]);
+                h.write(lock.as_bytes());
+            }
         }
     }));
 
@@ -326,6 +353,8 @@ pub fn active_mutation() -> Option<&'static str> {
         Some("mut-skip-validate")
     } else if cfg!(feature = "mut-snzi-skip-half") {
         Some("mut-snzi-skip-half")
+    } else if cfg!(feature = "mut-leak-region-on-panic") {
+        Some("mut-leak-region-on-panic")
     } else {
         None
     }
@@ -336,6 +365,7 @@ pub fn workload_for_mutation(mutation: &str) -> Workload {
     match mutation {
         "mut-lazy-subscription" => Workload::Bank,
         "mut-snzi-skip-half" => Workload::Snzi,
+        "mut-leak-region-on-panic" => Workload::Panic,
         // Both hashmap mutations break SWOpt-reader integrity.
         _ => Workload::HashMap,
     }

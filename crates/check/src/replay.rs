@@ -37,6 +37,7 @@ fn kind_name(k: InjectKind) -> &'static str {
         InjectKind::Capacity => "capacity",
         InjectKind::Spurious => "spurious",
         InjectKind::LockHeld => "lock-held",
+        InjectKind::Panic => "panic",
     }
 }
 
@@ -46,6 +47,7 @@ fn parse_kind(s: &str) -> Option<InjectKind> {
         "capacity" => Some(InjectKind::Capacity),
         "spurious" => Some(InjectKind::Spurious),
         "lock-held" => Some(InjectKind::LockHeld),
+        "panic" => Some(InjectKind::Panic),
         _ => None,
     }
 }

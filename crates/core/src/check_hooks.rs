@@ -14,6 +14,7 @@ use std::sync::{Arc, Mutex};
 
 use ale_htm::AbortCode;
 
+use crate::cs::CsProtocolError;
 use crate::mode::ExecMode;
 
 /// One critical-section event, labelled with the lock it ran under.
@@ -27,6 +28,27 @@ pub enum CsEvent {
     SwOptFail { lock: &'static str },
     /// The critical section completed in this mode.
     Complete { lock: &'static str, mode: ExecMode },
+    /// The body panicked in this mode; the driver restored consistency
+    /// (transaction torn down / open regions closed / lock released) and
+    /// re-raised the panic.
+    Panicked { lock: &'static str, mode: ExecMode },
+    /// A Lock-mode panic poisoned the lock; later entrants raise
+    /// [`LockPoison`](crate::LockPoison) until `clear_poison` is called.
+    Poisoned { lock: &'static str },
+    /// A mode-protocol violation was detected and recovered from (release
+    /// builds; debug builds still assert).
+    ProtocolError {
+        lock: &'static str,
+        error: CsProtocolError,
+    },
+    /// The abort-storm circuit breaker tripped: HTM is denied for this
+    /// lock's granule until a cool-down probe commits.
+    BreakerTrip { lock: &'static str },
+    /// A half-open breaker probe committed: HTM is restored.
+    BreakerRestore { lock: &'static str },
+    /// A deadline-based Lock-mode acquisition expired (stall watchdog);
+    /// the driver keeps waiting but reports each expiry.
+    LockStall { lock: &'static str, waited_ns: u64 },
 }
 
 type Observer = Arc<dyn Fn(&CsEvent) + Send + Sync>;

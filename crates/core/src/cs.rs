@@ -14,9 +14,10 @@
 //! execution detected interference and wants the driver to retry (§3.2's
 //! loop around `GetImp<true>`).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use ale_htm::AbortCode;
+use ale_htm::{AbortCode, BreakerTransition};
 use ale_sync::Backoff;
 use ale_vtime::{now, Rng};
 
@@ -31,6 +32,42 @@ use crate::Ale;
 /// Explicit-abort code for "a nested critical section does not allow HTM"
 /// (§4.1: the enclosing hardware transaction must abort).
 pub const ABORT_NESTED_NO_HTM: u8 = 0xFE;
+
+/// Explicit-abort code for a mode-protocol violation detected inside a
+/// hardware transaction (a body signalled a SWOpt outcome while flattened
+/// into an enclosing HTM execution). The enclosing driver stops retrying
+/// HTM and falls back to a mode where the body's answer is meaningful.
+pub const ABORT_PROTOCOL: u8 = 0xFC;
+
+/// A mode-protocol violation: the body returned a SWOpt outcome
+/// ([`CsOutcome::SwOptFail`] / [`CsOutcome::SwOptSelfAbort`]) from a mode
+/// where that answer is meaningless. Debug builds still assert (the old
+/// fail-fast behaviour); release builds recover — HTM executions fall back
+/// (per the `SwOptFail` no-harmful-side-effects contract re-running is
+/// safe), and Lock-mode executions release the lock, then raise this type
+/// as a typed panic payload since no value exists to return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsProtocolError {
+    /// A SWOpt outcome was signalled by a body running in HTM mode.
+    SwOptOutcomeInHtm,
+    /// A SWOpt outcome was signalled by a body running in Lock mode.
+    SwOptOutcomeInLock,
+}
+
+impl std::fmt::Display for CsProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsProtocolError::SwOptOutcomeInHtm => {
+                write!(f, "SWOpt failure signalled while in HTM mode")
+            }
+            CsProtocolError::SwOptOutcomeInLock => {
+                write!(f, "a Lock-mode execution cannot fail")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsProtocolError {}
 
 /// How much budget a "real" HTM abort consumes relative to a lock-held
 /// abort ("the library accounts for such aborts in a much lighter way than
@@ -146,6 +183,9 @@ impl CsCtx<'_> {
 pub(crate) trait LockOps {
     /// Acquire; returns how the hold should be recorded.
     fn acquire(&self) -> HeldKind;
+    /// Deadline acquisition for the stall watchdog: `None` when the budget
+    /// expired without acquiring.
+    fn acquire_for(&self, budget_ns: u64) -> Option<HeldKind>;
     fn release(&self);
     /// Is the lock held in a way that conflicts with eliding this critical
     /// section? Reads through `HtmCell::get`, so inside a transaction it
@@ -179,7 +219,13 @@ struct ReleaseGuard<'a, O: LockOps + ?Sized> {
 
 impl<O: LockOps + ?Sized> Drop for ReleaseGuard<'_, O> {
     fn drop(&mut self) {
-        frame::note_released(self.lock_key);
+        if std::thread::panicking() {
+            // A panicking note_released here would double-panic and abort
+            // the process; use the tolerant variant on the unwind path.
+            frame::note_released_on_unwind(self.lock_key);
+        } else {
+            frame::note_released(self.lock_key);
+        }
         self.ops.release();
     }
 }
@@ -194,6 +240,12 @@ pub(crate) fn run_cs<T, O: LockOps + ?Sized>(
     body: &mut dyn FnMut(&CsCtx<'_>) -> CsOutcome<T>,
 ) -> T {
     let lock_key = meta.key();
+
+    if meta.is_poisoned() {
+        // A previous Lock-mode execution panicked while holding this lock;
+        // refuse with a typed, catchable payload until explicit recovery.
+        std::panic::panic_any(crate::LockPoison { lock: meta.label() });
+    }
 
     // --- Flattened nesting inside an HTM execution (§4.1) ---------------
     if frame::in_htm_execution() {
@@ -213,7 +265,11 @@ pub(crate) fn run_cs<T, O: LockOps + ?Sized>(
         }) {
             CsOutcome::Done(v) => v,
             CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort => {
-                panic!("SWOpt failure signalled while in HTM mode")
+                // Mode-protocol violation while flattened into an enclosing
+                // hardware transaction: abort it so the enclosing driver
+                // falls back to a mode where the body's answer makes sense.
+                debug_assert!(false, "{}", CsProtocolError::SwOptOutcomeInHtm);
+                ale_htm::explicit_abort(ABORT_PROTOCOL)
             }
         };
     }
@@ -295,7 +351,15 @@ fn run_protocol<T, O: LockOps + ?Sized>(
     rec: &mut ExecRecord,
 ) -> T {
     // --------------------------- HTM mode ------------------------------
-    if plan.htm_attempts > 0 {
+    let breaker = granule.breaker.as_ref();
+    let htm_denied = plan.htm_attempts > 0 && breaker.is_some_and(|b| !b.allow());
+    if htm_denied {
+        // The circuit is open after an abort storm: go straight to the
+        // fallback modes; once the cool-down expires a later execution
+        // flips the circuit half-open and the cohort probes HTM again.
+        rec.breaker_tripped = true;
+    }
+    if plan.htm_attempts > 0 && !htm_denied {
         let mut budget = plan.htm_attempts.saturating_mul(LOCK_HELD_WEIGHT);
         let mut backoff = Backoff::with_max_exp(8);
         let profile = ale
@@ -322,27 +386,54 @@ fn run_protocol<T, O: LockOps + ?Sized>(
             });
             let t0 = measure.then(now);
             let force_bump = ale.config().force_version_bump;
-            let result = ale_htm::attempt(profile, rng, || {
-                // Self-test mutation (`mut-lazy-subscription`): skipping the
-                // in-transaction lock subscription is the classic unsafe-TLE
-                // bug (Dice et al.) — ale-check's oracles must catch it.
-                if !cfg!(feature = "mut-lazy-subscription")
-                    && !reentrant
-                    && ops.is_conflicting_locked()
-                {
-                    // Subscribed and held: abort, possibly retry elsewhere.
-                    ale_htm::explicit_abort(AbortCode::LOCK_HELD);
-                }
-                frame::with_frame(lock_key, ExecMode::Htm, || {
-                    body(&CsCtx {
-                        mode: ExecMode::Htm,
-                        meta,
-                        force_bump,
+            let attempted = catch_unwind(AssertUnwindSafe(|| {
+                ale_htm::attempt(profile, rng, || {
+                    // Self-test mutation (`mut-lazy-subscription`): skipping
+                    // the in-transaction lock subscription is the classic
+                    // unsafe-TLE bug (Dice et al.) — ale-check's oracles
+                    // must catch it.
+                    if !cfg!(feature = "mut-lazy-subscription")
+                        && !reentrant
+                        && ops.is_conflicting_locked()
+                    {
+                        // Subscribed and held: abort, possibly retry later.
+                        ale_htm::explicit_abort(AbortCode::LOCK_HELD);
+                    }
+                    frame::with_frame(lock_key, ExecMode::Htm, || {
+                        body(&CsCtx {
+                            mode: ExecMode::Htm,
+                            meta,
+                            force_bump,
+                        })
                     })
                 })
-            });
+            }));
+            let result = match attempted {
+                Ok(r) => r,
+                Err(payload) => {
+                    // The body panicked. The engine has already torn the
+                    // transaction down: speculative writes (including any
+                    // buffered region bumps) are discarded, so no region is
+                    // left open and no parity is broken. Tell the breaker
+                    // (a panicking probe is still a failed attempt) and
+                    // re-raise.
+                    if let Some(b) = breaker {
+                        b.record_abort(false, rng);
+                    }
+                    emit(CsEvent::Panicked {
+                        lock: meta.label(),
+                        mode: ExecMode::Htm,
+                    });
+                    resume_unwind(payload);
+                }
+            };
             match result {
                 Ok(CsOutcome::Done(v)) => {
+                    if let Some(b) = breaker {
+                        if b.record_commit() == BreakerTransition::Restored {
+                            emit(CsEvent::BreakerRestore { lock: meta.label() });
+                        }
+                    }
                     granule.stats.record_success(ExecMode::Htm, rng);
                     if let Some(t0) = t0 {
                         granule.stats.success_time[ExecMode::Htm.index()]
@@ -356,7 +447,17 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                     return v;
                 }
                 Ok(CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort) => {
-                    panic!("SWOpt failure signalled while in HTM mode")
+                    // Mode-protocol violation: the transaction committed,
+                    // yet the body claimed a SWOpt outcome. `SwOptFail`
+                    // promises the attempt had no harmful side effects, so
+                    // abandoning HTM and re-running via the fallback path
+                    // is safe.
+                    debug_assert!(false, "{}", CsProtocolError::SwOptOutcomeInHtm);
+                    emit(CsEvent::ProtocolError {
+                        lock: meta.label(),
+                        error: CsProtocolError::SwOptOutcomeInHtm,
+                    });
+                    break;
                 }
                 Err(status) => {
                     emit(CsEvent::HtmAbort {
@@ -384,6 +485,16 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                             AbortCode::Explicit(ABORT_NESTED_NO_HTM) => {
                                 budget = 0; // a nested CS forbids HTM
                             }
+                            AbortCode::Explicit(ABORT_PROTOCOL) => {
+                                // A flattened nested critical section hit a
+                                // mode-protocol violation: retrying in HTM
+                                // would just hit it again.
+                                emit(CsEvent::ProtocolError {
+                                    lock: meta.label(),
+                                    error: CsProtocolError::SwOptOutcomeInHtm,
+                                });
+                                budget = 0;
+                            }
                             AbortCode::Explicit(AbortCode::TX_UNFRIENDLY) => {
                                 // The body needs something transactions
                                 // cannot do (an internal mutex, allocation
@@ -398,6 +509,24 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                                 granule.stats.spurious_aborts.inc(rng);
                                 budget = budget.saturating_sub(LOCK_HELD_WEIGHT);
                             }
+                        }
+                    }
+                    // Feed the breaker: conflict/capacity aborts that are
+                    // not attributable to a lock acquisition are what a
+                    // storm is made of.
+                    if let Some(b) = breaker {
+                        let storm = !lock_held
+                            && matches!(status.code, AbortCode::Conflict | AbortCode::Capacity);
+                        if b.record_abort(storm, rng) == BreakerTransition::Tripped {
+                            emit(CsEvent::BreakerTrip { lock: meta.label() });
+                        }
+                        // An Open breaker ends this execution's HTM
+                        // attempts: whether a fresh trip or a failed probe
+                        // cohort, go straight to the fallback — a commit
+                        // while the circuit is open would count nowhere
+                        // and never restore HTM.
+                        if b.state() == ale_htm::BreakerState::Open {
+                            budget = 0;
                         }
                     }
                     backoff.spin();
@@ -429,13 +558,30 @@ fn run_protocol<T, O: LockOps + ?Sized>(
             });
             let t0 = measure.then(now);
             let force_bump = ale.config().force_version_bump;
-            let outcome = frame::with_frame(lock_key, ExecMode::SwOpt, || {
-                body(&CsCtx {
-                    mode: ExecMode::SwOpt,
-                    meta,
-                    force_bump,
+            let region_mark = ale_sync::open_region_count();
+            let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                frame::with_frame(lock_key, ExecMode::SwOpt, || {
+                    body(&CsCtx {
+                        mode: ExecMode::SwOpt,
+                        meta,
+                        force_bump,
+                    })
                 })
-            });
+            })) {
+                Ok(o) => o,
+                Err(payload) => {
+                    // No lock is held in SWOpt mode, so there is nothing to
+                    // poison — but a body that reached a conflicting region
+                    // (erroneously, or via self-abort-style code that then
+                    // panicked) must not leave odd versions behind.
+                    close_regions_after_panic(region_mark);
+                    emit(CsEvent::Panicked {
+                        lock: meta.label(),
+                        mode: ExecMode::SwOpt,
+                    });
+                    resume_unwind(payload);
+                }
+            };
             match outcome {
                 CsOutcome::Done(v) => {
                     granule.stats.record_success(ExecMode::SwOpt, rng);
@@ -484,25 +630,60 @@ fn run_protocol<T, O: LockOps + ?Sized>(
     let t0 = measure.then(now);
     let force_bump = ale.config().force_version_bump;
     let outcome = if reentrant {
-        // We already hold a satisfying lock: run without re-acquiring.
-        frame::with_frame(lock_key, ExecMode::Lock, || {
-            body(&CsCtx {
-                mode: ExecMode::Lock,
-                meta,
-                force_bump,
+        // We already hold a satisfying lock: run without re-acquiring. On a
+        // panic, close this level's regions and re-raise; the enclosing
+        // Lock-mode execution poisons and releases.
+        let region_mark = ale_sync::open_region_count();
+        match catch_unwind(AssertUnwindSafe(|| {
+            frame::with_frame(lock_key, ExecMode::Lock, || {
+                body(&CsCtx {
+                    mode: ExecMode::Lock,
+                    meta,
+                    force_bump,
+                })
             })
-        })
+        })) {
+            Ok(o) => o,
+            Err(payload) => {
+                close_regions_after_panic(region_mark);
+                emit(CsEvent::Panicked {
+                    lock: meta.label(),
+                    mode: ExecMode::Lock,
+                });
+                resume_unwind(payload);
+            }
+        }
     } else {
-        let kind = ops.acquire();
+        let kind = acquire_with_watchdog(ale, meta, ops);
         frame::note_acquired(lock_key, kind);
         let _release = ReleaseGuard { ops, lock_key };
-        frame::with_frame(lock_key, ExecMode::Lock, || {
-            body(&CsCtx {
-                mode: ExecMode::Lock,
-                meta,
-                force_bump,
+        let region_mark = ale_sync::open_region_count();
+        match catch_unwind(AssertUnwindSafe(|| {
+            frame::with_frame(lock_key, ExecMode::Lock, || {
+                body(&CsCtx {
+                    mode: ExecMode::Lock,
+                    meta,
+                    force_bump,
+                })
             })
-        })
+        })) {
+            Ok(o) => o,
+            Err(payload) => {
+                // Order matters: restore seqlock parity while still holding
+                // the lock, poison *before* releasing (the ReleaseGuard
+                // drops as the panic leaves this scope, so a racing entrant
+                // either blocks on the lock or sees the poison flag), then
+                // re-raise the original payload.
+                close_regions_after_panic(region_mark);
+                meta.poison();
+                emit(CsEvent::Panicked {
+                    lock: meta.label(),
+                    mode: ExecMode::Lock,
+                });
+                emit(CsEvent::Poisoned { lock: meta.label() });
+                resume_unwind(payload);
+            }
+        }
     };
     match outcome {
         CsOutcome::Done(v) => {
@@ -520,7 +701,49 @@ fn run_protocol<T, O: LockOps + ?Sized>(
             v
         }
         CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort => {
-            panic!("a Lock-mode execution cannot fail")
+            // The body ran to completion under the lock (released by now)
+            // yet claimed a SWOpt outcome. No value exists to return, so
+            // raise the typed error as a catchable panic payload. The lock
+            // is NOT poisoned: the body did not unwind, so the protected
+            // data saw a complete execution.
+            debug_assert!(false, "{}", CsProtocolError::SwOptOutcomeInLock);
+            emit(CsEvent::ProtocolError {
+                lock: meta.label(),
+                error: CsProtocolError::SwOptOutcomeInLock,
+            });
+            std::panic::panic_any(CsProtocolError::SwOptOutcomeInLock)
         }
+    }
+}
+
+/// Restore seqlock parity after a panicking body: close every conflicting
+/// region this critical section opened and left open (outermost mark
+/// captured before the body ran). The `mut-leak-region-on-panic` self-test
+/// mutation skips the repair — ale-check's oracles must then observe the
+/// stuck-odd version / leaked region.
+fn close_regions_after_panic(mark: usize) {
+    if !cfg!(feature = "mut-leak-region-on-panic") {
+        ale_sync::close_open_regions(mark);
+    }
+}
+
+/// Lock-mode acquisition under the optional stall watchdog: with a
+/// non-zero budget, acquire with a deadline and emit a
+/// [`CsEvent::LockStall`] at every expiry, then keep waiting — the
+/// watchdog reports stalls, it does not break mutual exclusion.
+fn acquire_with_watchdog<O: LockOps + ?Sized>(ale: &Ale, meta: &LockMeta, ops: &O) -> HeldKind {
+    let budget = ale.config().stall_watchdog_ns;
+    if budget == 0 {
+        return ops.acquire();
+    }
+    let start = now();
+    loop {
+        if let Some(kind) = ops.acquire_for(budget) {
+            return kind;
+        }
+        emit(CsEvent::LockStall {
+            lock: meta.label(),
+            waited_ns: now().saturating_sub(start),
+        });
     }
 }

@@ -92,6 +92,19 @@ pub(crate) fn note_released(lock_key: usize) {
     });
 }
 
+/// Unwind-path variant of [`note_released`]: never panics, because a second
+/// panic while already unwinding aborts the whole process. Removes the
+/// innermost matching hold if present and silently tolerates bookkeeping
+/// that the unwind has already torn down.
+pub(crate) fn note_released_on_unwind(lock_key: usize) {
+    HELD.with(|h| {
+        let mut h = h.borrow_mut();
+        if let Some(pos) = h.iter().rposition(|&(k, _)| k == lock_key) {
+            h.remove(pos);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,6 +13,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
+use ale_htm::{BreakerConfig, StormBreaker};
 use ale_sync::{SampledTime, StatCounter, TickMutex};
 use ale_vtime::{tick, Event, Rng};
 
@@ -98,6 +99,9 @@ pub struct Granule {
     /// Opaque per-granule policy state (e.g. the adaptive policy's learned
     /// X values and histograms), created by `Policy::make_granule_state`.
     pub policy_state: Box<dyn Any + Send + Sync>,
+    /// Abort-storm circuit breaker (present when
+    /// [`AleConfig::with_breaker`](crate::AleConfig::with_breaker) is set).
+    pub breaker: Option<StormBreaker>,
 }
 
 impl Granule {
@@ -124,6 +128,9 @@ pub struct GranuleTable {
     slots: Vec<AtomicPtr<Granule>>,
     /// Owns the granules; also serialises insertion.
     owned: TickMutex<Vec<Arc<Granule>>>,
+    /// When set, every granule created by this table gets its own
+    /// [`StormBreaker`] with this configuration.
+    breaker_cfg: Option<BreakerConfig>,
 }
 
 impl Default for GranuleTable {
@@ -134,11 +141,17 @@ impl Default for GranuleTable {
 
 impl GranuleTable {
     pub fn new() -> Self {
+        Self::with_breaker_config(None)
+    }
+
+    /// A table whose granules each carry an abort-storm circuit breaker.
+    pub fn with_breaker_config(breaker_cfg: Option<BreakerConfig>) -> Self {
         GranuleTable {
             slots: (0..MAX_GRANULES_PER_LOCK)
                 .map(|_| AtomicPtr::new(std::ptr::null_mut()))
                 .collect(),
             owned: TickMutex::new(Vec::new()),
+            breaker_cfg,
         }
     }
 
@@ -184,6 +197,7 @@ impl GranuleTable {
             labels: current_context_labels(),
             stats: GranuleStats::default(),
             policy_state: make_state(),
+            breaker: self.breaker_cfg.clone().map(StormBreaker::new),
         });
         if owned.len() >= MAX_GRANULES_PER_LOCK {
             // Overflow: merge into the last granule rather than grow.

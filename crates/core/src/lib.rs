@@ -64,7 +64,7 @@ pub mod report;
 pub mod scope;
 
 pub use check_hooks::{clear_cs_observer, set_cs_observer, CsEvent};
-pub use cs::{CsCtx, CsOptions, CsOutcome, ABORT_NESTED_NO_HTM};
+pub use cs::{CsCtx, CsOptions, CsOutcome, CsProtocolError, ABORT_NESTED_NO_HTM, ABORT_PROTOCOL};
 pub use granule::{Granule, GranuleStats};
 pub use grouping::Grouping;
 pub use meta::LockMeta;
@@ -101,6 +101,15 @@ pub struct AleConfig {
     /// Seed for all library-internal randomness (sampling, HTM failure
     /// model); figures fix it for reproducibility.
     pub seed: u64,
+    /// Per-granule abort-storm circuit breaker configuration. `None`
+    /// (default) disables the breaker; the paper's figures run without it.
+    pub breaker: Option<ale_htm::BreakerConfig>,
+    /// Stall-watchdog budget for Lock-mode acquisitions, in (virtual)
+    /// nanoseconds. When non-zero the driver acquires with a deadline and
+    /// emits a [`CsEvent::LockStall`] each time the budget expires (it
+    /// keeps waiting — the watchdog reports, it does not break mutual
+    /// exclusion). 0 (default) disables the watchdog.
+    pub stall_watchdog_ns: u64,
 }
 
 impl AleConfig {
@@ -114,6 +123,8 @@ impl AleConfig {
             force_version_bump: false,
             grouping_defer_permille: 1000,
             seed: 0xA1E_5EED,
+            breaker: None,
+            stall_watchdog_ns: 0,
         }
     }
 
@@ -149,6 +160,65 @@ impl AleConfig {
         self.seed = seed;
         self
     }
+
+    /// Give every granule an abort-storm circuit breaker.
+    pub fn with_breaker(mut self, cfg: ale_htm::BreakerConfig) -> Self {
+        self.breaker = Some(cfg);
+        self
+    }
+
+    /// [`AleConfig::with_breaker`] with the default thresholds.
+    pub fn with_default_breaker(self) -> Self {
+        self.with_breaker(ale_htm::BreakerConfig::default())
+    }
+
+    /// Enable the Lock-mode stall watchdog with the given budget.
+    pub fn with_stall_watchdog(mut self, budget_ns: u64) -> Self {
+        self.stall_watchdog_ns = budget_ns;
+        self
+    }
+}
+
+/// Panic payload raised when a critical section is entered under a
+/// poisoned lock (a previous Lock-mode execution panicked while holding
+/// it). Recover by catching the unwind, restoring the protected data's
+/// invariants, and calling `clear_poison` on the lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockPoison {
+    /// The poisoned lock's registration label.
+    pub lock: &'static str,
+}
+
+impl std::fmt::Display for LockPoison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ALE lock '{}' is poisoned by a panicked critical section",
+            self.lock
+        )
+    }
+}
+
+/// Install (once) a panic hook that keeps ALE control-flow unwinds quiet:
+/// the engine-level payloads silenced by
+/// [`ale_htm::init_panic_hook`], plus [`LockPoison`] and
+/// [`cs::CsProtocolError`] — both are raised to be *caught* by the caller,
+/// and a backtrace per occurrence would drown harness output.
+pub fn init_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        ale_htm::init_panic_hook();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            if p.downcast_ref::<LockPoison>().is_none()
+                && p.downcast_ref::<cs::CsProtocolError>().is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// An instance of the ALE library: configuration, policy, and the registry
@@ -172,6 +242,13 @@ impl Ale {
         } else {
             None
         };
+        // Startup capability probe: if the platform claims HTM but cannot
+        // commit even an empty transaction, degrade to SWOpt+Lock instead
+        // of burning a retry budget on every critical section.
+        let htm_profile = htm_profile.filter(|p| {
+            let mut rng = Rng::new(config.seed ^ 0x4854_4D50_524F_4245);
+            ale_htm::htm_supported(p, &mut rng)
+        });
         Arc::new(Ale {
             config,
             htm_profile,
@@ -212,7 +289,12 @@ impl Ale {
     /// SWOpt registration contention against HTM elision-scan cost.
     fn make_meta(&self, label: &'static str) -> LockMeta {
         let stripes = (self.config.platform.logical_threads() as usize / 8).clamp(4, 16);
-        LockMeta::with_grouping_stripes(label, self.policy.make_lock_state(), stripes)
+        LockMeta::with_grouping_stripes_and_breaker(
+            label,
+            self.policy.make_lock_state(),
+            stripes,
+            self.config.breaker.clone(),
+        )
     }
 
     /// The library's statistics/profiling report (§3.4).
@@ -322,6 +404,9 @@ impl<L: RawLock> LockOps for MutexOps<'_, L> {
         self.0.acquire();
         HeldKind::Excl
     }
+    fn acquire_for(&self, budget_ns: u64) -> Option<HeldKind> {
+        self.0.try_acquire_for(budget_ns).then_some(HeldKind::Excl)
+    }
     fn release(&self) {
         self.0.release();
     }
@@ -384,6 +469,18 @@ impl<L: RawLock> AleLock<L> {
     pub fn ale(&self) -> &Arc<Ale> {
         &self.ale
     }
+
+    /// Did a Lock-mode critical section panic while holding this lock?
+    /// While poisoned, entering a critical section raises [`LockPoison`].
+    pub fn is_poisoned(&self) -> bool {
+        self.meta.is_poisoned()
+    }
+
+    /// Explicit recovery from a poisoned state: the caller asserts the
+    /// protected data's invariants hold again.
+    pub fn clear_poison(&self) {
+        self.meta.clear_poison();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -405,6 +502,11 @@ impl<L: RawRwLock> LockOps for SharedOps<'_, L> {
         self.0.acquire_shared();
         HeldKind::Shared
     }
+    fn acquire_for(&self, budget_ns: u64) -> Option<HeldKind> {
+        self.0
+            .try_acquire_shared_for(budget_ns)
+            .then_some(HeldKind::Shared)
+    }
     fn release(&self) {
         self.0.release_shared();
     }
@@ -423,6 +525,11 @@ impl<L: RawRwLock> LockOps for ExclOps<'_, L> {
     fn acquire(&self) -> HeldKind {
         self.0.acquire_excl();
         HeldKind::Excl
+    }
+    fn acquire_for(&self, budget_ns: u64) -> Option<HeldKind> {
+        self.0
+            .try_acquire_excl_for(budget_ns)
+            .then_some(HeldKind::Excl)
     }
     fn release(&self) {
         self.0.release_excl();
@@ -477,5 +584,15 @@ impl<L: RawRwLock> AleRwLock<L> {
 
     pub fn ale(&self) -> &Arc<Ale> {
         &self.ale
+    }
+
+    /// See [`AleLock::is_poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.meta.is_poisoned()
+    }
+
+    /// See [`AleLock::clear_poison`].
+    pub fn clear_poison(&self) {
+        self.meta.clear_poison();
     }
 }

@@ -7,6 +7,9 @@
 //! [`Ale`](crate::Ale) instance for reporting.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ale_htm::BreakerConfig;
 
 use crate::granule::GranuleTable;
 use crate::grouping::Grouping;
@@ -19,6 +22,10 @@ pub struct LockMeta {
     pub grouping: Grouping,
     /// Created by `Policy::make_lock_state`; downcast by the policy.
     pub policy_state: Box<dyn Any + Send + Sync>,
+    /// Set when a Lock-mode critical section panicked while holding the
+    /// lock. Entering a critical section under a poisoned lock raises a
+    /// typed [`LockPoison`](crate::LockPoison) panic until cleared.
+    poisoned: AtomicBool,
 }
 
 impl LockMeta {
@@ -32,11 +39,23 @@ impl LockMeta {
         policy_state: Box<dyn Any + Send + Sync>,
         stripes: usize,
     ) -> Self {
+        Self::with_grouping_stripes_and_breaker(label, policy_state, stripes, None)
+    }
+
+    /// As [`LockMeta::with_grouping_stripes`], additionally giving every
+    /// granule of this lock an abort-storm circuit breaker.
+    pub fn with_grouping_stripes_and_breaker(
+        label: &'static str,
+        policy_state: Box<dyn Any + Send + Sync>,
+        stripes: usize,
+        breaker: Option<BreakerConfig>,
+    ) -> Self {
         LockMeta {
             label,
-            granules: GranuleTable::new(),
+            granules: GranuleTable::with_breaker_config(breaker),
             grouping: Grouping::with_stripes(stripes),
             policy_state,
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -49,6 +68,24 @@ impl LockMeta {
     /// Stable identity for nesting bookkeeping.
     pub fn key(&self) -> usize {
         self as *const LockMeta as usize
+    }
+
+    /// Did a Lock-mode critical section panic while holding this lock?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Mark the lock poisoned (the unwind path does this *before*
+    /// releasing, so a racing entrant either blocks on the lock or sees the
+    /// flag).
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Explicit recovery: the caller asserts the protected data is
+    /// consistent again and re-enables critical sections on this lock.
+    pub fn clear_poison(&self) {
+        self.poisoned.store(false, Ordering::Release);
     }
 }
 
@@ -72,5 +109,15 @@ mod tests {
         assert_eq!(a.label(), "a");
         assert_ne!(a.key(), b.key());
         assert!(format!("{a:?}").contains("\"a\""));
+    }
+
+    #[test]
+    fn poison_flag_round_trips() {
+        let m = LockMeta::new("p", Box::new(()));
+        assert!(!m.is_poisoned());
+        m.poison();
+        assert!(m.is_poisoned());
+        m.clear_poison();
+        assert!(!m.is_poisoned());
     }
 }

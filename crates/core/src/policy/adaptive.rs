@@ -659,6 +659,12 @@ impl Policy for AdaptivePolicy {
     }
 
     fn on_complete(&self, meta: &LockMeta, granule: &Granule, rec: &ExecRecord, _rng: &mut Rng) {
+        if rec.breaker_tripped {
+            // The circuit breaker forced this execution to skip HTM; its
+            // timings say nothing about the modes under comparison and
+            // would poison the learned X values.
+            return;
+        }
         let state = self.lock_state(meta);
         let stage_word = state.stage.load(Ordering::Acquire);
         let stage = unpack_stage(stage_word);

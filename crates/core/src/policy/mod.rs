@@ -85,6 +85,10 @@ pub struct ExecRecord {
     pub swopt_attempts: u32,
     /// Whether HTM exhausted its budget and fell back.
     pub htm_gave_up: bool,
+    /// Whether the abort-storm circuit breaker denied HTM for this
+    /// execution. Such executions are not representative of HTM behaviour
+    /// and the adaptive policy ignores them.
+    pub breaker_tripped: bool,
     /// Whole-execution duration, when measured.
     pub exec_ns: Option<u64>,
     /// Total time burned in *failed* HTM attempts, when measured.

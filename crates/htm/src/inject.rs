@@ -14,6 +14,7 @@
 //! simulator (exactly one lane runs at a time) — the same plan, seed and
 //! schedule replay the same injected aborts.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
@@ -43,7 +44,7 @@ impl InjectPoint {
     }
 }
 
-/// The abort class a rule injects.
+/// The fault class a rule injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectKind {
     /// A data conflict (retryable).
@@ -54,16 +55,36 @@ pub enum InjectKind {
     Spurious,
     /// The explicit "elided lock was held" abort.
     LockHeld,
+    /// A panic unwinding out of the critical-section body (with the
+    /// [`InjectedPanic`] payload), exercising the runtime's unwind-safety
+    /// paths instead of the abort protocol.
+    Panic,
+}
+
+/// Unwind payload for [`InjectKind::Panic`] faults. Public so harnesses can
+/// raise (`std::panic::panic_any(InjectedPanic)`) and catch the same typed
+/// payload outside transactions too; the process panic hook (see
+/// [`init_panic_hook`](crate::txn::init_panic_hook)) keeps these unwinds
+/// silent, since they are planned control flow, not bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedPanic;
+
+/// What an injection point must do when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Injected {
+    Abort(AbortStatus),
+    Panic,
 }
 
 impl InjectKind {
-    /// The status an injected abort of this kind reports.
-    pub fn status(self) -> AbortStatus {
+    /// The action an injected fault of this kind performs.
+    pub(crate) fn injected(self) -> Injected {
         match self {
-            InjectKind::Conflict => AbortStatus::conflict(),
-            InjectKind::Capacity => AbortStatus::capacity(),
-            InjectKind::Spurious => AbortStatus::spurious(true),
-            InjectKind::LockHeld => AbortStatus::explicit(AbortCode::LOCK_HELD),
+            InjectKind::Conflict => Injected::Abort(AbortStatus::conflict()),
+            InjectKind::Capacity => Injected::Abort(AbortStatus::capacity()),
+            InjectKind::Spurious => Injected::Abort(AbortStatus::spurious(true)),
+            InjectKind::LockHeld => Injected::Abort(AbortStatus::explicit(AbortCode::LOCK_HELD)),
+            InjectKind::Panic => Injected::Panic,
         }
     }
 }
@@ -86,6 +107,16 @@ pub struct InjectPlan {
     pub rules: Vec<InjectRule>,
     /// Stop injecting after this many hits. `u64::MAX` = unlimited.
     pub max_hits: u64,
+    /// Virtual-time activity window `[start, end)`: rules only fire while
+    /// `ale_vtime::now()` is inside it. `None` = always active. This is how
+    /// the storm-recovery scenario confines an abort storm to one phase of
+    /// a deterministic run.
+    pub window: Option<(u64, u64)>,
+    /// Thread-scope token: rules only fire on threads that hold an
+    /// [`enter_scope`] guard for the same token. `None` = all threads.
+    /// Lets a scenario inject faults into its own simulator lanes without
+    /// perturbing unrelated work in the same process (e.g. other tests).
+    pub scope: Option<u64>,
 }
 
 impl InjectPlan {
@@ -93,6 +124,8 @@ impl InjectPlan {
         InjectPlan {
             rules,
             max_hits: u64::MAX,
+            window: None,
+            scope: None,
         }
     }
 
@@ -101,6 +134,47 @@ impl InjectPlan {
         self.max_hits = max_hits;
         self
     }
+
+    /// Confine the plan to the virtual-time window `[start_ns, end_ns)`.
+    pub fn windowed(mut self, start_ns: u64, end_ns: u64) -> Self {
+        self.window = Some((start_ns, end_ns));
+        self
+    }
+
+    /// Confine the plan to threads holding an [`enter_scope`] guard for
+    /// `token`.
+    pub fn scoped(mut self, token: u64) -> Self {
+        self.scope = Some(token);
+        self
+    }
+}
+
+thread_local! {
+    /// The calling thread's ambient injection scope (0 = unscoped).
+    static SCOPE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII guard from [`enter_scope`]: restores the previous scope on drop.
+pub struct ScopeGuard {
+    prev: u64,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| s.set(self.prev));
+    }
+}
+
+/// Tag the calling thread with injection-scope `token` until the guard
+/// drops. Plans built with [`InjectPlan::scoped`] fire only on threads
+/// holding a matching tag.
+pub fn enter_scope(token: u64) -> ScopeGuard {
+    let prev = SCOPE.with(|s| {
+        let p = s.get();
+        s.set(token);
+        p
+    });
+    ScopeGuard { prev }
 }
 
 struct PlanState {
@@ -138,10 +212,10 @@ pub fn hits() -> u64 {
     STATE.lock().unwrap().as_ref().map_or(0, |st| st.hits)
 }
 
-/// Consult the plan at `point`. `Some(status)` means the caller must abort
-/// the current transaction with that status.
+/// Consult the plan at `point`. `Some(action)` means the caller must abort
+/// the current transaction (or unwind with [`InjectedPanic`]).
 #[inline]
-pub(crate) fn check(point: InjectPoint) -> Option<AbortStatus> {
+pub(crate) fn check(point: InjectPoint) -> Option<Injected> {
     if !ACTIVE.load(Ordering::Relaxed) {
         return None;
     }
@@ -149,7 +223,7 @@ pub(crate) fn check(point: InjectPoint) -> Option<AbortStatus> {
 }
 
 #[cold]
-fn check_slow(point: InjectPoint) -> Option<AbortStatus> {
+fn check_slow(point: InjectPoint) -> Option<Injected> {
     let mut g = STATE.lock().unwrap();
     let st = g.as_mut()?;
     let idx = point.index();
@@ -158,10 +232,21 @@ fn check_slow(point: InjectPoint) -> Option<AbortStatus> {
     if st.hits >= st.plan.max_hits {
         return None;
     }
+    if let Some((start, end)) = st.plan.window {
+        let t = ale_vtime::now();
+        if t < start || t >= end {
+            return None;
+        }
+    }
+    if let Some(token) = st.plan.scope {
+        if SCOPE.with(|s| s.get()) != token {
+            return None;
+        }
+    }
     for r in &st.plan.rules {
         if r.point == point && r.every > 0 && c.is_multiple_of(r.every) {
             st.hits += 1;
-            return Some(r.kind.status());
+            return Some(r.kind.injected());
         }
     }
     None
@@ -271,5 +356,127 @@ mod tests {
         let r = attempt(&profile(), &mut Rng::new(1), || a.set(1));
         assert_eq!(r.unwrap_err().code, AbortCode::Conflict);
         clear();
+    }
+
+    #[test]
+    fn panic_injection_unwinds_with_typed_payload_and_discards_writes() {
+        let _g = serial();
+        crate::txn::init_panic_hook();
+        let a = HtmCell::new(0u64);
+        install(InjectPlan::new(vec![InjectRule {
+            point: InjectPoint::Write,
+            every: 1,
+            kind: InjectKind::Panic,
+        }]));
+        // AssertUnwindSafe: the engine discards speculative writes on
+        // unwind, so the cell is consistent after the catch.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = attempt(&profile(), &mut Rng::new(1), || a.set(7));
+        }));
+        clear();
+        let payload = unwound.expect_err("an injected panic must unwind out of attempt");
+        assert!(
+            payload.downcast_ref::<InjectedPanic>().is_some(),
+            "payload must be the typed InjectedPanic"
+        );
+        assert!(!crate::txn::in_txn(), "unwind must tear the txn down");
+        assert_eq!(a.get(), 0, "speculative writes must be discarded");
+        // The engine is reusable after the unwind.
+        assert_eq!(attempt(&profile(), &mut Rng::new(2), || a.set(3)), Ok(()));
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn commit_point_panic_keeps_writes_private() {
+        let _g = serial();
+        crate::txn::init_panic_hook();
+        let a = HtmCell::new(0u64);
+        install(InjectPlan::new(vec![InjectRule {
+            point: InjectPoint::Commit,
+            every: 1,
+            kind: InjectKind::Panic,
+        }]));
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = attempt(&profile(), &mut Rng::new(1), || a.set(9));
+        }));
+        clear();
+        assert!(unwound.is_err());
+        assert!(!crate::txn::in_txn());
+        assert_eq!(a.get(), 0, "a panic at commit entry must not publish");
+    }
+
+    #[test]
+    fn scoped_plan_only_fires_inside_matching_scope() {
+        let _g = serial();
+        install(
+            InjectPlan::new(vec![InjectRule {
+                point: InjectPoint::Begin,
+                every: 1,
+                kind: InjectKind::Conflict,
+            }])
+            .scoped(0xDEAD),
+        );
+        let profile = profile();
+        let mut rng = Rng::new(1);
+        assert!(
+            attempt(&profile, &mut rng, || ()).is_ok(),
+            "unscoped thread must not be hit"
+        );
+        {
+            let _scope = enter_scope(0xDEAD);
+            assert_eq!(
+                attempt(&profile, &mut rng, || ()).unwrap_err().code,
+                AbortCode::Conflict,
+                "matching scope must be hit"
+            );
+            let _inner = enter_scope(0xBEEF);
+            assert!(
+                attempt(&profile, &mut rng, || ()).is_ok(),
+                "a different scope must not be hit"
+            );
+        }
+        assert!(
+            attempt(&profile, &mut rng, || ()).is_ok(),
+            "dropping the guard must restore the previous scope"
+        );
+        assert_eq!(clear(), 1);
+    }
+
+    #[test]
+    fn window_confines_rules_to_virtual_time_range() {
+        use ale_vtime::{Event, Platform, Sim};
+        let _g = serial();
+        let aborts = Sim::new(Platform::testbed(), 1).run(|_| {
+            install(
+                InjectPlan::new(vec![InjectRule {
+                    point: InjectPoint::Begin,
+                    every: 1,
+                    kind: InjectKind::Conflict,
+                }])
+                .windowed(1_000, 2_000),
+            );
+            let profile = profile();
+            let mut rng = Rng::new(1);
+            let mut aborts = [0u32; 3];
+            // Phase 0: before the window opens.
+            if attempt(&profile, &mut rng, || ()).is_err() {
+                aborts[0] += 1;
+            }
+            ale_vtime::tick(Event::LocalWork(1_500)); // now inside [1000, 2000)
+            if attempt(&profile, &mut rng, || ()).is_err() {
+                aborts[1] += 1;
+            }
+            ale_vtime::tick(Event::LocalWork(1_000)); // past the window
+            if attempt(&profile, &mut rng, || ()).is_err() {
+                aborts[2] += 1;
+            }
+            clear();
+            aborts
+        });
+        assert_eq!(
+            aborts.results[0],
+            [0, 1, 0],
+            "the rule must fire only inside the vtime window"
+        );
     }
 }

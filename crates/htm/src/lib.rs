@@ -60,9 +60,11 @@ pub mod cell;
 pub mod inject;
 #[cfg(all(feature = "real-rtm", target_arch = "x86_64"))]
 pub mod rtm;
+pub mod storm;
 pub mod txn;
 
 pub use abort::{AbortCode, AbortStatus};
 pub use cell::HtmCell;
-pub use inject::{InjectKind, InjectPlan, InjectPoint, InjectRule};
-pub use txn::{attempt, explicit_abort, in_txn, read_set_len, write_set_len};
+pub use inject::{InjectKind, InjectPlan, InjectPoint, InjectRule, InjectedPanic};
+pub use storm::{htm_supported, BreakerConfig, BreakerState, BreakerTransition, StormBreaker};
+pub use txn::{attempt, explicit_abort, in_txn, init_panic_hook, read_set_len, write_set_len};

@@ -67,17 +67,35 @@ fn do_abort(status: AbortStatus) -> ! {
     std::panic::panic_any(TxAbortUnwind(status))
 }
 
-/// Install (once) a panic hook that keeps abort unwinds silent.
+fn do_injected_panic() -> ! {
+    std::panic::panic_any(crate::inject::InjectedPanic)
+}
+
+/// Install (once) a panic hook that keeps control-flow unwinds silent:
+/// abort unwinds (normal transaction control flow) and
+/// [`InjectedPanic`](crate::inject::InjectedPanic) payloads (planned faults
+/// raised by the checking harness).
 fn init_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<TxAbortUnwind>().is_none() {
+            let p = info.payload();
+            if p.downcast_ref::<TxAbortUnwind>().is_none()
+                && p.downcast_ref::<crate::inject::InjectedPanic>().is_none()
+            {
                 prev(info);
             }
         }));
     });
+}
+
+/// Install the quiet panic hook eagerly. [`attempt`] does this on first
+/// use; harnesses that raise [`InjectedPanic`](crate::inject::InjectedPanic)
+/// faults in Lock or SWOpt mode (where no transaction ever begins) call
+/// this first so planned unwinds stay silent there too.
+pub fn init_panic_hook() {
+    init_hook();
 }
 
 /// True while the calling thread is inside a transaction.
@@ -123,9 +141,19 @@ pub fn attempt<R>(
     init_hook();
     tick(Event::HtmBegin);
 
-    if let Some(status) = crate::inject::check(crate::inject::InjectPoint::Begin) {
-        tick(Event::HtmAbort);
-        return Err(status);
+    match crate::inject::check(crate::inject::InjectPoint::Begin) {
+        Some(crate::inject::Injected::Abort(status)) => {
+            tick(Event::HtmAbort);
+            return Err(status);
+        }
+        Some(crate::inject::Injected::Panic) => {
+            // The planned fault is a CS body that panics: nothing
+            // transactional has started, so the unwind carries straight to
+            // the critical-section driver's unwind-safety machinery.
+            tick(Event::HtmAbort);
+            do_injected_panic();
+        }
+        None => {}
     }
 
     let mut fm = FailureModel::new(profile.clone(), rng.fork(0x7854_6E67));
@@ -154,19 +182,30 @@ pub fn attempt<R>(
         .expect("transaction state vanished");
 
     let result = match outcome {
-        Ok(value) => match crate::inject::check(crate::inject::InjectPoint::Commit)
-            .map(Err)
-            .unwrap_or_else(|| commit(&st))
-        {
-            Ok(()) => {
-                tick(Event::HtmCommit);
-                Ok(value)
+        Ok(value) => {
+            let committed = match crate::inject::check(crate::inject::InjectPoint::Commit) {
+                Some(crate::inject::Injected::Abort(status)) => Err(status),
+                Some(crate::inject::Injected::Panic) => {
+                    // Planned panic at commit entry: the transaction dies
+                    // with its buffered writes and the unwind reaches the
+                    // driver, exactly like a body panic would.
+                    tick(Event::HtmAbort);
+                    recycle(st);
+                    do_injected_panic();
+                }
+                None => commit(&st),
+            };
+            match committed {
+                Ok(()) => {
+                    tick(Event::HtmCommit);
+                    Ok(value)
+                }
+                Err(status) => {
+                    tick(Event::HtmAbort);
+                    Err(status)
+                }
             }
-            Err(status) => {
-                tick(Event::HtmAbort);
-                Err(status)
-            }
-        },
+        }
         Err(payload) => {
             tick(Event::HtmAbort);
             match payload.downcast::<TxAbortUnwind>() {
@@ -199,8 +238,10 @@ fn recycle(mut st: TxState) {
 /// Transactional read of `cell` (called from `HtmCell::get`).
 pub(crate) fn tx_read<T: Copy>(cell: &HtmCell<T>) -> T {
     tick(Event::SharedLoad);
-    if let Some(status) = crate::inject::check(crate::inject::InjectPoint::Read) {
-        do_abort(status);
+    match crate::inject::check(crate::inject::InjectPoint::Read) {
+        Some(crate::inject::Injected::Abort(status)) => do_abort(status),
+        Some(crate::inject::Injected::Panic) => do_injected_panic(),
+        None => {}
     }
     TX.with(|slot| {
         let mut borrow = slot.borrow_mut();
@@ -246,8 +287,10 @@ pub(crate) fn tx_read<T: Copy>(cell: &HtmCell<T>) -> T {
 /// Transactional (buffered) write of `cell` (called from `HtmCell::set`).
 pub(crate) fn tx_write<T: Copy>(cell: &HtmCell<T>, value: T) {
     tick(Event::SharedStore);
-    if let Some(status) = crate::inject::check(crate::inject::InjectPoint::Write) {
-        do_abort(status);
+    match crate::inject::check(crate::inject::InjectPoint::Write) {
+        Some(crate::inject::Injected::Abort(status)) => do_abort(status),
+        Some(crate::inject::Injected::Panic) => do_injected_panic(),
+        None => {}
     }
     TX.with(|slot| {
         let mut borrow = slot.borrow_mut();

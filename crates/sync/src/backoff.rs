@@ -6,13 +6,23 @@
 //! platform's `Backoff(exp)` cost, so contention shows up in simulated
 //! throughput exactly as it would in wall-clock time.
 
-use ale_vtime::{tick, Event};
+use ale_vtime::{tick, Event, Rng};
 
-/// Exponentially growing busy-wait.
+/// Exponentially growing busy-wait, optionally jittered.
+///
+/// Without jitter every contended thread walks the same exponent sequence
+/// 0, 1, 2, … and so retries in lockstep — exactly the synchronised
+/// reconvergence that fuels HTM abort storms. [`Backoff::with_jitter`]
+/// attaches a decorrelated-jitter delay stream (next delay drawn uniformly
+/// from `[1, 3 × previous]`, capped at `2^max_exp` units) seeded from a
+/// deterministic [`Rng`], so threads with different seeds desynchronise
+/// while staying reproducible under the simulator.
 #[derive(Debug, Clone)]
 pub struct Backoff {
     exp: u32,
     max_exp: u32,
+    /// Decorrelated-jitter state: (last delay in backoff units, RNG).
+    jitter: Option<(u64, Rng)>,
 }
 
 impl Backoff {
@@ -23,12 +33,26 @@ impl Backoff {
         Backoff {
             exp: 0,
             max_exp: Self::DEFAULT_MAX_EXP,
+            jitter: None,
         }
     }
 
     /// A backoff that never exceeds `2^max_exp` units per spin.
     pub fn with_max_exp(max_exp: u32) -> Self {
-        Backoff { exp: 0, max_exp }
+        Backoff {
+            exp: 0,
+            max_exp,
+            jitter: None,
+        }
+    }
+
+    /// Attach a decorrelated-jitter stream. The cap (`2^max_exp`) and the
+    /// [`Backoff::is_saturated`] switch-strategies signal keep their
+    /// un-jittered meaning; only the per-spin delay is randomised.
+    #[must_use]
+    pub fn with_jitter(mut self, rng: Rng) -> Self {
+        self.jitter = Some((1, rng));
+        self
     }
 
     /// Current exponent (grows by one per `spin`, saturating).
@@ -39,16 +63,27 @@ impl Backoff {
     /// Wait once, then increase the delay for next time.
     #[inline]
     pub fn spin(&mut self) {
-        tick(Event::Backoff(self.exp));
+        let charged = match &mut self.jitter {
+            Some((prev, rng)) => {
+                let cap = 1u64 << self.max_exp;
+                let hi = prev.saturating_mul(3).min(cap);
+                let units = 1 + rng.gen_range(hi);
+                *prev = units;
+                // Charge the nearest power-of-two exponent (floor log2).
+                63 - (units | 1).leading_zeros()
+            }
+            None => self.exp,
+        };
+        tick(Event::Backoff(charged));
         if ale_vtime::is_simulated() {
             // Virtual cost above is what matters; a token pause suffices.
             std::hint::spin_loop();
-        } else if self.exp >= 3 {
+        } else if charged >= 3 {
             // Real threads on few (possibly one) CPUs: give the lock holder
             // a chance to run instead of burning the whole timeslice.
             std::thread::yield_now();
         } else {
-            for _ in 0..(1u32 << self.exp) {
+            for _ in 0..(1u32 << charged) {
                 std::hint::spin_loop();
             }
         }
@@ -61,6 +96,9 @@ impl Backoff {
     #[inline]
     pub fn reset(&mut self) {
         self.exp = 0;
+        if let Some((prev, _)) = &mut self.jitter {
+            *prev = 1;
+        }
     }
 
     /// Has the backoff reached its cap? Callers often switch strategies
@@ -93,6 +131,35 @@ mod tests {
         assert!(b.is_saturated());
         b.reset();
         assert_eq!(b.exp(), 0);
+    }
+
+    #[test]
+    fn jittered_streams_decorrelate_but_stay_deterministic() {
+        let charge = |seed: u64| {
+            let report = Sim::new(Platform::testbed(), 1).run(move |_| {
+                let mut b = Backoff::with_max_exp(6).with_jitter(Rng::new(seed));
+                let t0 = ale_vtime::now();
+                for _ in 0..12 {
+                    b.spin();
+                }
+                ale_vtime::now() - t0
+            });
+            report.results[0]
+        };
+        assert_eq!(charge(1), charge(1), "same seed must replay identically");
+        assert_ne!(charge(1), charge(2), "different seeds must desynchronise");
+    }
+
+    #[test]
+    fn jitter_keeps_saturation_semantics() {
+        let mut b = Backoff::with_max_exp(4).with_jitter(Rng::new(7));
+        for _ in 0..10 {
+            b.spin();
+        }
+        assert!(b.is_saturated());
+        b.reset();
+        assert_eq!(b.exp(), 0);
+        assert!(!b.is_saturated());
     }
 
     #[test]

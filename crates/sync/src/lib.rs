@@ -37,6 +37,7 @@ pub mod snzi;
 pub mod spinlock;
 pub mod ticket;
 pub mod timing;
+pub mod watchdog;
 
 pub use backoff::Backoff;
 pub use clh::ClhLock;
@@ -44,8 +45,9 @@ pub use counters::StatCounter;
 pub use mutex::{TickMutex, TickMutexGuard};
 pub use raw_lock::{RawLock, RawRwLock};
 pub use rwlock::RwLock;
-pub use seqlock::{SeqLock, SeqVersion};
+pub use seqlock::{close_open_regions, open_region_count, SeqLock, SeqVersion};
 pub use snzi::{Snzi, SnziGuard};
 pub use spinlock::SpinLock;
 pub use ticket::TicketLock;
 pub use timing::SampledTime;
+pub use watchdog::{clear_stall_observer, set_park_thresholds, set_stall_observer, StallEvent};

@@ -14,6 +14,39 @@
 //! acquisition then aborts the transaction — without this, Transactional
 //! Lock Elision is unsound. All locks in this crate satisfy the contract.
 
+use ale_vtime::now;
+
+use crate::backoff::Backoff;
+use crate::watchdog::{self, StallEvent};
+
+/// Backoff cap for the deadline-acquisition spin loops: small enough that
+/// the deadline is checked often, large enough not to hammer the lock word.
+const DEADLINE_SPIN_MAX_EXP: u32 = 6;
+
+/// Spin on `try_it` with backoff until it succeeds or `budget_ns` of
+/// (virtual) time passes; emits a [`StallEvent::LockTimeout`] on expiry.
+fn spin_until_deadline(budget_ns: u64, mut try_it: impl FnMut() -> bool) -> bool {
+    if try_it() {
+        return true;
+    }
+    let start = now();
+    let deadline = start.saturating_add(budget_ns);
+    let mut backoff = Backoff::with_max_exp(DEADLINE_SPIN_MAX_EXP);
+    loop {
+        backoff.spin();
+        if try_it() {
+            return true;
+        }
+        let t = now();
+        if t >= deadline {
+            watchdog::emit(StallEvent::LockTimeout {
+                waited_ns: t.saturating_sub(start),
+            });
+            return false;
+        }
+    }
+}
+
 /// A mutual-exclusion lock ALE can elide.
 pub trait RawLock: Send + Sync {
     /// Block (spin) until the lock is held by the caller.
@@ -30,6 +63,15 @@ pub trait RawLock: Send + Sync {
     /// Inside a hardware transaction this read *subscribes* the transaction
     /// to the lock word (see the module docs).
     fn is_locked(&self) -> bool;
+
+    /// Deadline-based acquisition: spin (with bounded backoff, charged to
+    /// virtual time) until acquired or `budget_ns` has elapsed. Expiry
+    /// emits a [`StallEvent::LockTimeout`] for the stall watchdog and
+    /// returns `false`; the caller decides whether to report, retry, or
+    /// escalate.
+    fn try_acquire_for(&self, budget_ns: u64) -> bool {
+        spin_until_deadline(budget_ns, || self.try_acquire())
+    }
 }
 
 /// A readers-writer lock ALE can elide.
@@ -52,4 +94,61 @@ pub trait RawRwLock: Send + Sync {
     /// Is anyone (reader or writer) holding the lock? (What an elided
     /// *writer* must check.)
     fn is_any_locked(&self) -> bool;
+
+    /// Deadline-based shared acquisition (see [`RawLock::try_acquire_for`]).
+    fn try_acquire_shared_for(&self, budget_ns: u64) -> bool {
+        spin_until_deadline(budget_ns, || self.try_acquire_shared())
+    }
+
+    /// Deadline-based exclusive acquisition (see
+    /// [`RawLock::try_acquire_for`]).
+    fn try_acquire_excl_for(&self, budget_ns: u64) -> bool {
+        spin_until_deadline(budget_ns, || self.try_acquire_excl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinlock::SpinLock;
+    use ale_vtime::{Event, Platform, Sim};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn deadline_acquisition_succeeds_when_free() {
+        let l = SpinLock::new();
+        assert!(l.try_acquire_for(1_000));
+        l.release();
+    }
+
+    #[test]
+    fn deadline_acquisition_times_out_and_reports() {
+        let _g = crate::watchdog::test_serial();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        crate::watchdog::set_stall_observer(Arc::new(move |ev| {
+            sink.lock().unwrap().push(*ev);
+        }));
+        let l = SpinLock::new();
+        let got = Sim::new(Platform::testbed(), 2).run(|lane| {
+            if lane.id() == 0 {
+                l.acquire();
+                ale_vtime::tick(Event::LocalWork(500_000)); // stalled holder
+                l.release();
+                true
+            } else {
+                ale_vtime::tick(Event::LocalWork(100));
+                l.try_acquire_for(10_000)
+            }
+        });
+        crate::watchdog::clear_stall_observer();
+        assert!(!got.results[1], "acquisition must give up at the deadline");
+        let seen = seen.lock().unwrap();
+        assert!(
+            seen.iter().any(
+                |ev| matches!(ev, StallEvent::LockTimeout { waited_ns } if *waited_ns >= 10_000)
+            ),
+            "timeout must be reported: {seen:?}"
+        );
+    }
 }

@@ -26,8 +26,60 @@
 //!   reader can be running — `COULD_SWOPT_BE_RUNNING`, §3.3.)
 //! * **SWOpt mode**: reads are plain consistent loads.
 
+use std::cell::RefCell;
+
 use ale_htm::HtmCell;
 use ale_vtime::{tick, Event};
+
+use crate::watchdog::{self, StallEvent};
+
+thread_local! {
+    /// Conflicting regions this thread has opened (outermost first).
+    ///
+    /// Only non-transactional opens are tracked: an HTM-mode bump is
+    /// buffered in the transaction's write set, so an abort (including a
+    /// panic unwinding out of the body) discards it and there is nothing to
+    /// close. A Lock- or SWOpt-mode open, by contrast, made the version odd
+    /// in shared memory — if the critical section unwinds before
+    /// `end_conflicting_action`, every SWOpt reader livelocks. The panic
+    /// cleanup in `ale-core` uses [`open_region_count`] /
+    /// [`close_open_regions`] to restore parity before re-raising.
+    static OPEN_REGIONS: RefCell<Vec<*const SeqVersion>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Conflicting regions the calling thread currently has open (outside a
+/// hardware transaction). A critical-section driver snapshots this before
+/// running a body and closes back down to the mark if the body unwinds.
+pub fn open_region_count() -> usize {
+    OPEN_REGIONS.with(|r| r.borrow().len())
+}
+
+/// Close every conflicting region the calling thread opened above `mark`
+/// (innermost first), restoring even version parity. Used by panic-cleanup
+/// paths; a normal `end_conflicting_action` pops its own entry.
+///
+/// The caller must ensure the `SeqVersion`s opened above `mark` are still
+/// alive — true whenever they protect shared data that outlives the
+/// unwinding critical section, which is the only sound way to use them.
+pub fn close_open_regions(mark: usize) {
+    loop {
+        let ptr = OPEN_REGIONS.with(|r| {
+            let r = r.borrow();
+            if r.len() > mark {
+                Some(r[r.len() - 1])
+            } else {
+                None
+            }
+        });
+        let Some(ptr) = ptr else { break };
+        // SAFETY: pushed by `begin_conflicting_action` on this thread; per
+        // the contract above, the SeqVersion outlives the unwinding critical
+        // section. The matching begin lives in the unwound section — the
+        // pair is deliberately split across functions; this IS the cleanup.
+        // ale-lint: allow(conflicting-region-balance)
+        unsafe { (*ptr).end_conflicting_action() };
+    }
+}
 
 /// The paper's explicit version number (`tblVer` in the HashMap example).
 ///
@@ -60,6 +112,12 @@ impl SeqVersion {
     pub fn begin_conflicting_action(&self) {
         let v = self.v.get();
         self.v.set(v.wrapping_add(1));
+        if !ale_htm::in_txn() {
+            // Track the open region so a panic unwinding out of the
+            // critical section can restore parity (see OPEN_REGIONS).
+            // HTM-mode bumps are buffered and vanish on abort — untracked.
+            OPEN_REGIONS.with(|r| r.borrow_mut().push(self as *const SeqVersion));
+        }
         // Chaos point (no-op unless ale-check enables it): stretch the
         // odd-version window so adversarial schedules land inside it.
         crate::chaos::stall();
@@ -71,18 +129,49 @@ impl SeqVersion {
         crate::chaos::stall();
         let v = self.v.get();
         self.v.set(v.wrapping_add(1));
+        if !ale_htm::in_txn() {
+            OPEN_REGIONS.with(|r| {
+                let mut r = r.borrow_mut();
+                let me = self as *const SeqVersion;
+                // Tolerant pop: regions close LIFO in well-formed code, but
+                // a cleanup path must not turn imbalance into a panic.
+                if let Some(pos) = r.iter().rposition(|&p| p == me) {
+                    r.remove(pos);
+                }
+            });
+        }
     }
 
     /// The paper's `GetVer`: read the version, optionally waiting until it
     /// is even (no conflicting region in progress).
+    ///
+    /// A reader parked here past the watchdog thresholds (too many version
+    /// bumps observed, or too many polls of a version stuck odd) emits one
+    /// [`StallEvent::SwOptParked`] and keeps waiting.
     #[inline]
     #[must_use = "a version snapshot is only useful if validated afterwards"]
     pub fn read(&self, wait_until_even: bool) -> u64 {
+        let mut last = None;
+        let mut bumps = 0u64;
+        let mut spins = 0u64;
+        let mut reported = false;
         loop {
             let v = self.v.get();
             tick(Event::SharedLoad);
             if !wait_until_even || v.is_multiple_of(2) {
                 return v;
+            }
+            spins += 1;
+            if last.is_some_and(|l| l != v) {
+                bumps += 1;
+            }
+            last = Some(v);
+            if !reported {
+                let (max_bumps, max_spins) = watchdog::park_thresholds();
+                if bumps >= max_bumps || spins >= max_spins {
+                    watchdog::emit(StallEvent::SwOptParked { bumps, spins });
+                    reported = true;
+                }
             }
             std::hint::spin_loop();
         }
@@ -220,6 +309,88 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(v.read(false), 0, "aborted bump must be invisible");
+    }
+
+    #[test]
+    fn open_regions_are_tracked_outside_txn() {
+        let v = SeqVersion::new();
+        let mark = open_region_count();
+        v.begin_conflicting_action();
+        assert_eq!(open_region_count(), mark + 1);
+        v.end_conflicting_action();
+        assert_eq!(open_region_count(), mark);
+    }
+
+    #[test]
+    fn htm_mode_regions_are_not_tracked() {
+        use ale_htm::attempt;
+        use ale_vtime::{Platform, Rng};
+        let v = SeqVersion::new();
+        let p = Platform::testbed().htm.unwrap();
+        let r = attempt(&p, &mut Rng::new(1), || {
+            v.begin_conflicting_action();
+            assert_eq!(open_region_count(), 0, "buffered bumps need no cleanup");
+            v.end_conflicting_action();
+        });
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn close_open_regions_restores_parity() {
+        let a = SeqVersion::new();
+        let b = SeqVersion::new();
+        let mark = open_region_count();
+        // Leak two nested regions, as a panicking critical section would.
+        // ale-lint: allow(conflicting-region-balance)
+        a.begin_conflicting_action();
+        b.begin_conflicting_action();
+        assert_eq!(a.read(false) % 2, 1);
+        assert_eq!(b.read(false) % 2, 1);
+        close_open_regions(mark);
+        assert_eq!(open_region_count(), mark);
+        assert_eq!(a.read(false), 2, "parity restored");
+        assert_eq!(b.read(false), 2, "parity restored");
+        // Closing again is a no-op.
+        close_open_regions(mark);
+        assert_eq!(a.read(false), 2);
+    }
+
+    #[test]
+    fn parked_reader_emits_watchdog_event() {
+        use ale_vtime::{Platform, Sim};
+        use std::sync::{Arc, Mutex};
+        let _g = crate::watchdog::test_serial();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        crate::watchdog::set_stall_observer(Arc::new(move |ev| {
+            sink.lock().unwrap().push(*ev);
+        }));
+        crate::watchdog::set_park_thresholds(4, 64);
+        let v = SeqVersion::new();
+        Sim::new(Platform::testbed(), 2).run(|lane| {
+            if lane.id() == 0 {
+                // Hold long odd windows so the waiting reader polls far past
+                // the spin threshold (and may see several bumps) before an
+                // even version finally appears.
+                for _ in 0..4 {
+                    v.begin_conflicting_action();
+                    ale_vtime::tick(Event::LocalWork(20_000));
+                    v.end_conflicting_action();
+                }
+            } else {
+                ale_vtime::tick(Event::LocalWork(500));
+                let snap = v.read(true);
+                assert_eq!(snap % 2, 0);
+            }
+        });
+        crate::watchdog::clear_stall_observer();
+        crate::watchdog::set_park_thresholds(0, 0);
+        let seen = seen.lock().unwrap();
+        assert!(
+            seen.iter()
+                .any(|ev| matches!(ev, StallEvent::SwOptParked { .. })),
+            "parked reader must report: {seen:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Stall watchdog: structured events for executions that stop making
+//! progress, plus the thresholds that define "stalled".
+//!
+//! Two stall shapes matter to the ALE runtime:
+//!
+//! * a **parked SWOpt reader** — [`SeqVersion::read`](crate::SeqVersion)
+//!   waiting for an even version while writers churn (or a leaked
+//!   conflicting region keeps the version odd forever);
+//! * a **lock-acquisition timeout** — a deadline-based
+//!   [`RawLock::try_acquire_for`](crate::RawLock::try_acquire_for) call
+//!   expiring, which usually means the holder died or stalled.
+//!
+//! Neither is handled here: the watchdog only *reports*, through the same
+//! observer pattern as `ale-core::check_hooks`, so `ale-check` can oracle
+//! the events and callers can decide on recovery. When no observer is
+//! installed each emit point costs one relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One stall observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallEvent {
+    /// A SWOpt reader waiting for an even version observed `bumps` version
+    /// changes (across `spins` polls) without the conflicting region
+    /// closing for it.
+    SwOptParked { bumps: u64, spins: u64 },
+    /// A deadline-based lock acquisition gave up after `waited_ns` of
+    /// virtual (or real) time.
+    LockTimeout { waited_ns: u64 },
+}
+
+type Observer = Arc<dyn Fn(&StallEvent) + Send + Sync>;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static OBSERVER: Mutex<Option<Observer>> = Mutex::new(None);
+
+/// Version bumps a waiting reader may observe before it counts as parked.
+static PARK_BUMP_THRESHOLD: AtomicU64 = AtomicU64::new(DEFAULT_PARK_BUMPS);
+/// Polls a waiting reader may make before it counts as parked (catches a
+/// version stuck odd, where no bump ever arrives).
+static PARK_SPIN_THRESHOLD: AtomicU64 = AtomicU64::new(DEFAULT_PARK_SPINS);
+
+/// Default [`set_park_thresholds`] bump limit.
+pub const DEFAULT_PARK_BUMPS: u64 = 64;
+/// Default [`set_park_thresholds`] spin limit.
+pub const DEFAULT_PARK_SPINS: u64 = 1 << 14;
+
+/// Install a process-wide stall observer (replacing any previous one).
+/// Callbacks run on the stalled thread; they must not block or tick.
+pub fn set_stall_observer(f: Observer) {
+    let mut g = OBSERVER.lock().unwrap();
+    *g = Some(f);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove the observer.
+pub fn clear_stall_observer() {
+    ENABLED.store(false, Ordering::Release);
+    OBSERVER.lock().unwrap().take();
+}
+
+/// Reconfigure when a waiting SWOpt reader counts as parked. Passing 0
+/// restores a threshold's default.
+pub fn set_park_thresholds(bumps: u64, spins: u64) {
+    let b = if bumps == 0 {
+        DEFAULT_PARK_BUMPS
+    } else {
+        bumps
+    };
+    let s = if spins == 0 {
+        DEFAULT_PARK_SPINS
+    } else {
+        spins
+    };
+    PARK_BUMP_THRESHOLD.store(b, Ordering::Relaxed);
+    PARK_SPIN_THRESHOLD.store(s, Ordering::Relaxed);
+}
+
+pub(crate) fn park_thresholds() -> (u64, u64) {
+    (
+        PARK_BUMP_THRESHOLD.load(Ordering::Relaxed),
+        PARK_SPIN_THRESHOLD.load(Ordering::Relaxed),
+    )
+}
+
+/// Emit an event to the observer, if one is installed.
+#[inline]
+pub(crate) fn emit(ev: StallEvent) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    emit_slow(&ev);
+}
+
+#[cold]
+fn emit_slow(ev: &StallEvent) {
+    let obs = OBSERVER.lock().unwrap().clone();
+    if let Some(f) = obs {
+        f(ev);
+    }
+}
+
+/// Watchdog state is process-global; tests that touch it must not overlap.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observer_receives_and_clears() {
+        let _g = test_serial();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        set_stall_observer(Arc::new(move |ev| sink.lock().unwrap().push(*ev)));
+        emit(StallEvent::LockTimeout { waited_ns: 5 });
+        clear_stall_observer();
+        emit(StallEvent::LockTimeout { waited_ns: 9 });
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.as_slice(), &[StallEvent::LockTimeout { waited_ns: 5 }]);
+    }
+
+    #[test]
+    fn thresholds_configure_and_default() {
+        let _g = test_serial();
+        set_park_thresholds(3, 10);
+        assert_eq!(park_thresholds(), (3, 10));
+        set_park_thresholds(0, 0);
+        assert_eq!(park_thresholds(), (DEFAULT_PARK_BUMPS, DEFAULT_PARK_SPINS));
+    }
+}

@@ -350,6 +350,39 @@ fn fig5_csv_golden_shape() {
     );
 }
 
+/// Resilience (DESIGN §10): with the abort-storm circuit breaker, the
+/// runtime survives an injected storm at fallback speed and restores HTM
+/// once it passes — recovering to within 10 % of pre-storm throughput
+/// inside the bounded recovery phase. The breaker-less control pays the
+/// full doomed retry budget for the storm's whole duration.
+#[test]
+fn storm_breaker_recovers_throughput() {
+    use ale_bench::{run_storm, StormConfig};
+    let on = run_storm(&StormConfig::quick(Platform::haswell(), 4, true, 7));
+    let off = run_storm(&StormConfig::quick(Platform::haswell(), 4, false, 7));
+    // The breaker trips during the storm and restores HTM after it.
+    assert!(on.trips >= 1, "the storm must trip the breaker: {on:?}");
+    assert!(on.restores >= 1, "HTM must be restored after it: {on:?}");
+    assert!(
+        on.post_htm_ops > 0,
+        "recovery must run in HTM again: {on:?}"
+    );
+    assert!(
+        on.post_mops > on.pre_mops * 0.9,
+        "post-storm throughput must recover to within 10% of pre-storm: {on:?}"
+    );
+    // During the storm, tripping to the lock beats burning HTM budgets.
+    assert!(
+        on.storm_mops > off.storm_mops * 2.0,
+        "the breaker must beat the control during the storm: \
+         {:.2} vs {:.2} Mops",
+        on.storm_mops,
+        off.storm_mops
+    );
+    // The control never touches its (absent) breaker.
+    assert_eq!((off.trips, off.restores), (0, 0), "{off:?}");
+}
+
 /// Determinism: the whole stack replays bit-identically for a fixed seed.
 #[test]
 fn end_to_end_determinism() {
