@@ -63,7 +63,11 @@ fn main() {
     let emit = |table: &Table| {
         let path = table.write_csv(&out_dir).expect("write CSV");
         println!("{}", table.render());
-        println!("(written to {})\n", path.display());
+        println!("(written to {})", path.display());
+        if let Some(p) = table.write_prom(&out_dir).expect("write metrics snapshot") {
+            println!("(metrics snapshot written to {})", p.display());
+        }
+        println!();
     };
 
     for target in &targets {

@@ -39,6 +39,10 @@ pub struct Table {
     pub title: String,
     pub header: String,
     pub rows: Vec<String>,
+    /// Prometheus text snapshot of the figure's final ALE run (per-granule
+    /// metrics), written as `<id>.prom` next to the CSV. `None` for figures
+    /// whose cells are all non-ALE baselines.
+    pub prom: Option<String>,
 }
 
 impl Table {
@@ -57,6 +61,18 @@ impl Table {
         let path = dir.join(format!("{}.csv", self.id));
         std::fs::write(&path, self.to_csv())?;
         Ok(path)
+    }
+
+    /// Write the metrics snapshot as `<id>.prom` under `dir`, if the figure
+    /// produced one.
+    pub fn write_prom(&self, dir: &Path) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Some(prom) = &self.prom else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.prom", self.id));
+        std::fs::write(&path, prom)?;
+        Ok(Some(path))
     }
 
     /// Column-aligned rendering for the terminal.
@@ -98,6 +114,13 @@ fn row(mix: &str, r: &RunResult) -> String {
     )
 }
 
+/// Keep the latest ALE cell's metrics snapshot for the figure's `.prom`.
+fn keep_prom(slot: &mut Option<String>, r: &RunResult) {
+    if let Some(rep) = &r.report {
+        *slot = Some(rep.to_prometheus());
+    }
+}
+
 /// Total measured ops for one cell, split over lanes.
 fn ops_per_lane(total: u64, threads: usize) -> u64 {
     (total / threads as u64).max(200)
@@ -120,6 +143,7 @@ fn hashmap_grid(
 ) -> Table {
     let total_ops: u64 = if opts.quick { 4_000 } else { 24_000 };
     let mut rows = Vec::new();
+    let mut prom = None;
     for mix in mixes {
         for variant in Variant::figure_set(&platform) {
             for &t in threads {
@@ -143,6 +167,7 @@ fn hashmap_grid(
                     r.variant,
                     r.mops
                 );
+                keep_prom(&mut prom, &r);
                 rows.push(row(&mix.label(), &r));
             }
         }
@@ -152,6 +177,7 @@ fn hashmap_grid(
         title,
         header: HDR.into(),
         rows,
+        prom,
     }
 }
 
@@ -241,6 +267,7 @@ pub fn fig5(opts: FigOpts) -> Table {
         ..Default::default()
     };
     let mut rows = Vec::new();
+    let mut prom = None;
     for platform in [Platform::haswell(), Platform::t2()] {
         let threads: Vec<usize> = threads_for(&platform, opts.quick)
             .into_iter()
@@ -265,6 +292,7 @@ pub fn fig5(opts: FigOpts) -> Table {
                     "  fig5: {} {} t={t}: {:.3} Mops/s",
                     r.platform, r.variant, r.mops
                 );
+                keep_prom(&mut prom, &r);
                 rows.push(row("wicked", &r));
             }
         }
@@ -274,6 +302,7 @@ pub fn fig5(opts: FigOpts) -> Table {
         title: "Kyoto Cabinet wicked benchmark (nested elision)".into(),
         header: HDR.into(),
         rows,
+        prom,
     }
 }
 
@@ -346,6 +375,7 @@ pub fn stats_nomutate(opts: FigOpts) -> Table {
         title: "§5 inline statistics (SWOpt miss fast-path; large-tx HTM failures)".into(),
         header: "platform,workload,variant,threads,metric,value".into(),
         rows,
+        prom: Some(report2.to_prometheus()),
     }
 }
 
@@ -388,6 +418,7 @@ pub fn report_demo(opts: FigOpts) -> (Table, String) {
             "lock,context,executions,htm_succ,swopt_succ,lock_succ,swopt_fails,htm_aborts,policy"
                 .into(),
         rows,
+        prom: Some(report.to_prometheus()),
     };
     (table, report.to_string())
 }
@@ -401,6 +432,7 @@ pub fn ablate_elide(opts: FigOpts) -> Table {
     // conflict window is realistic.
     let w = HashMapWorkload::mutate_heavy(8 * 1024).with_buckets(512);
     let mut rows = Vec::new();
+    let mut prom = None;
     let total = if opts.quick { 4_000 } else { 16_000 };
     for (label, mods) in [
         ("elide", Mods::default()),
@@ -439,6 +471,7 @@ pub fn ablate_elide(opts: FigOpts) -> Table {
                 "  ablate-elide: {label} t={t}: {:.3} Mops/s, {per_kop:.1} conflict aborts/kop",
                 r.mops
             );
+            keep_prom(&mut prom, &r);
             rows.push(format!(
                 "haswell,{},{label},{},{:.4},{per_kop:.2}",
                 w.label(),
@@ -452,6 +485,7 @@ pub fn ablate_elide(opts: FigOpts) -> Table {
         title: "A1: HTM throughput and conflict aborts with/without version-bump elision".into(),
         header: "platform,mix,elision,threads,mops,conflict_aborts_per_kop".into(),
         rows,
+        prom,
     }
 }
 
@@ -462,6 +496,7 @@ pub fn ablate_group(opts: FigOpts) -> Table {
     // without grouping — the §4.2 scenario.
     let w = HashMapWorkload::mutate_heavy(4 * 1024).with_buckets(64);
     let mut rows = Vec::new();
+    let mut prom = None;
     let total = if opts.quick { 4_000 } else { 16_000 };
     for (label, mods) in [
         (
@@ -516,6 +551,7 @@ pub fn ablate_group(opts: FigOpts) -> Table {
                 "  ablate-group: {label} t={t}: {:.3} Mops/s, {per_op:.3} retries/op",
                 r.mops
             );
+            keep_prom(&mut prom, &r);
             rows.push(format!(
                 "t2,{},{label},{},{:.4},{per_op:.4}",
                 w.label(),
@@ -529,6 +565,7 @@ pub fn ablate_group(opts: FigOpts) -> Table {
         title: "A2: SWOpt grouping mechanism on/off".into(),
         header: "platform,mix,grouping,threads,mops,swopt_retries_per_op".into(),
         rows,
+        prom,
     }
 }
 
@@ -536,6 +573,7 @@ pub fn ablate_group(opts: FigOpts) -> Table {
 /// untested suggestion).
 pub fn ablate_buckets(opts: FigOpts) -> Table {
     let mut rows = Vec::new();
+    let mut prom = None;
     let total = if opts.quick { 4_000 } else { 16_000 };
     for stripes in [1usize, 64] {
         let w = HashMapWorkload::mutate_heavy(2 * 1024).with_version_stripes(stripes);
@@ -554,6 +592,7 @@ pub fn ablate_buckets(opts: FigOpts) -> Table {
                 "  ablate-buckets: stripes={stripes} t={t}: {:.3} Mops/s",
                 r.mops
             );
+            keep_prom(&mut prom, &r);
             rows.push(format!("t2,{},{stripes},{},{:.4}", w.label(), t, r.mops));
         }
     }
@@ -562,6 +601,7 @@ pub fn ablate_buckets(opts: FigOpts) -> Table {
         title: "A3: global vs per-bucket version numbers".into(),
         header: "platform,mix,version_stripes,threads,mops".into(),
         rows,
+        prom,
     }
 }
 
@@ -611,6 +651,7 @@ pub fn ablate_x(opts: FigOpts) -> Table {
         title: "A4: static X sweep vs the adaptive X model".into(),
         header: "platform,mix,variant,threads,mops".into(),
         rows,
+        prom: r.report.as_ref().map(|rep| rep.to_prometheus()),
     }
 }
 
@@ -622,6 +663,7 @@ pub fn ablate_x(opts: FigOpts) -> Table {
 /// data overlap).
 pub fn zipf(opts: FigOpts) -> Table {
     let mut rows = Vec::new();
+    let mut prom = None;
     let total = if opts.quick { 4_000 } else { 16_000 };
     let t = 8usize;
     for theta in [None, Some(0.6), Some(0.9), Some(0.99)] {
@@ -664,6 +706,7 @@ pub fn zipf(opts: FigOpts) -> Table {
                 "  zipf: {label} {}: {:.3} Mops/s, {per_kop:.1} conflicts/kop",
                 r.variant, r.mops
             );
+            keep_prom(&mut prom, &r);
             rows.push(format!(
                 "haswell,{},{label},{},{:.4},{per_kop:.2}",
                 w.label(),
@@ -677,6 +720,7 @@ pub fn zipf(opts: FigOpts) -> Table {
         title: "Extension: key skew (Zipfian) vs technique choice".into(),
         header: "platform,mix,skew,variant,mops,conflict_events_per_kop".into(),
         rows,
+        prom,
     }
 }
 
@@ -691,6 +735,7 @@ mod tests {
             title: "demo".into(),
             header: "a,b".into(),
             rows: vec!["1,2".into(), "333,4".into()],
+            prom: None,
         };
         let csv = t.to_csv();
         assert_eq!(csv, "a,b\n1,2\n333,4\n");

@@ -26,6 +26,7 @@
 //! bounded schedule budget by `ale-check selftest`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use ale_core::CsEvent;
@@ -141,6 +142,12 @@ pub struct CheckConfig {
     /// virtual nanoseconds (0 = off).
     pub chaos_ns: u64,
     pub fault: Option<FaultSpec>,
+    /// Run with `ale-trace` event recording on (full sampling). Adds the
+    /// trace oracle — every completed critical section must have emitted a
+    /// mode-decision event — and folds the merged stream's digest into the
+    /// run digest. `false` (the default) leaves digests bit-identical to a
+    /// harness without tracing compiled in.
+    pub trace: bool,
 }
 
 impl Default for CheckConfig {
@@ -162,6 +169,7 @@ impl Default for CheckConfig {
             perturb_limit: u64::MAX,
             chaos_ns: 120,
             fault: None,
+            trace: false,
         }
     }
 }
@@ -182,6 +190,8 @@ pub struct RunOutcome {
     pub makespan_ns: u64,
     /// Faults the injection plan actually fired.
     pub injected: u64,
+    /// The merged trace stream, when [`CheckConfig::trace`] was set.
+    pub trace: Option<ale_trace::Drained>,
 }
 
 impl RunOutcome {
@@ -243,8 +253,19 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
     } else {
         ale_htm::inject::clear();
     }
+    if cfg.trace {
+        // Full sampling (the determinism oracle needs every record) and a
+        // ring deep enough that no schedule in the harness's range drops.
+        ale_trace::configure(&ale_trace::TraceConfig::enabled().with_ring_capacity(1 << 16));
+    } else if ale_trace::is_enabled() {
+        // A previous caller left tracing on; a trace-off run must behave
+        // exactly like one where tracing never existed.
+        ale_trace::reset();
+    }
     let events = Arc::new(Mutex::new(Fnv::new()));
     let sink = Arc::clone(&events);
+    let completes = Arc::new(AtomicU64::new(0));
+    let completes_sink = Arc::clone(&completes);
     ale_core::set_cs_observer(Arc::new(move |ev: &CsEvent| {
         let mut h = sink.lock().unwrap_or_else(|p| p.into_inner());
         match *ev {
@@ -267,6 +288,7 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
                 h.write(lock.as_bytes());
             }
             CsEvent::Complete { lock, mode } => {
+                completes_sink.fetch_add(1, Ordering::Relaxed);
                 h.write(&[4, mode.index() as u8]);
                 h.write(lock.as_bytes());
             }
@@ -308,9 +330,21 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
     ale_core::clear_cs_observer();
     ale_sync::chaos::set_publication_delay(0);
     let injected = ale_htm::inject::clear();
+    let trace = if cfg.trace {
+        let drained = ale_trace::drain();
+        ale_trace::reset();
+        Some(drained)
+    } else {
+        None
+    };
 
     let mut digest = Fnv::new();
     digest.write_u64(events.lock().unwrap_or_else(|p| p.into_inner()).finish());
+    // Folded only when tracing was requested, so trace-off digests stay
+    // bit-identical to a harness without tracing at all.
+    if let Some(t) = &trace {
+        digest.write_u64(t.digest());
+    }
 
     match result {
         Ok(out) => {
@@ -318,12 +352,33 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
             digest.write_u64(out.makespan_ns);
             digest.write_u64(out.decisions);
             digest.write_u64(injected);
+            let mut violations = out.violations;
+            if let Some(t) = &trace {
+                // The trace oracle: every completed critical section emits
+                // exactly one mode-decision event, so at full sampling with
+                // no ring drops the two counts must agree. A skipped or
+                // duplicated emit (the `mut-trace-drop-event` mutation)
+                // shows up here.
+                let traced = t
+                    .events
+                    .iter()
+                    .filter(|e| e.kind() == Some(ale_trace::EventKind::ModeDecision))
+                    .count() as u64;
+                let completed = completes.load(Ordering::Relaxed);
+                if t.dropped == 0 && traced != completed {
+                    violations.push(format!(
+                        "trace oracle: {traced} mode-decision event(s) for \
+                         {completed} completed critical section(s)"
+                    ));
+                }
+            }
             RunOutcome {
-                violations: out.violations,
+                violations,
                 digest: digest.finish(),
                 decisions: out.decisions,
                 makespan_ns: out.makespan_ns,
                 injected,
+                trace,
             }
         }
         Err(payload) => {
@@ -338,6 +393,7 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
                 decisions: 0,
                 makespan_ns: 0,
                 injected,
+                trace,
             }
         }
     }
@@ -355,6 +411,8 @@ pub fn active_mutation() -> Option<&'static str> {
         Some("mut-snzi-skip-half")
     } else if cfg!(feature = "mut-leak-region-on-panic") {
         Some("mut-leak-region-on-panic")
+    } else if cfg!(feature = "mut-trace-drop-event") {
+        Some("mut-trace-drop-event")
     } else {
         None
     }
@@ -366,6 +424,8 @@ pub fn workload_for_mutation(mutation: &str) -> Workload {
         "mut-lazy-subscription" => Workload::Bank,
         "mut-snzi-skip-half" => Workload::Snzi,
         "mut-leak-region-on-panic" => Workload::Panic,
+        // SWOpt-heavy, so a dropped SWOpt mode-decision emit is common.
+        "mut-trace-drop-event" => Workload::HashMap,
         // Both hashmap mutations break SWOpt-reader integrity.
         _ => Workload::HashMap,
     }

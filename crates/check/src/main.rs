@@ -43,7 +43,7 @@ fn usage() -> &'static str {
     "usage: ale-check [selftest] [--seeds N] [--strategy S|all] [--workload W|all]\n\
      \t[--threads N] [--ops N] [--platform P] [--chaos NS] [--window NS]\n\
      \t[--permille N] [--fault point:kind:every[:max_hits]] [--seed-base N]\n\
-     \t[--out DIR] [--replay FILE]\n\
+     \t[--trace] [--out DIR] [--replay FILE]\n\
      strategies: lowest-clock random-walk preempt most-conflicting\n\
      workloads:  hashmap kyoto bank snzi\n\
      platforms:  testbed haswell rock t2"
@@ -129,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --permille".to_string())?
             }
             "--fault" => args.base.fault = Some(replay::parse_fault(&value("--fault")?)?),
+            "--trace" => args.base.trace = true,
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -231,6 +232,14 @@ fn run_replay(path: &Path) -> ExitCode {
         outcome.decisions,
         outcome.injected
     );
+    if let Some(t) = &outcome.trace {
+        println!(
+            "trace: {} event(s), {} dropped, stream digest {:016x}",
+            t.events.len(),
+            t.dropped,
+            t.digest()
+        );
+    }
     if outcome.failed() {
         println!("{} violation(s):", outcome.violations.len());
         for v in &outcome.violations {
@@ -289,6 +298,12 @@ fn run_selftest(args: &Args) -> ExitCode {
         }
         Some(mutation) => {
             let workload = workload_for_mutation(mutation);
+            let mut base = args.base.clone();
+            // The trace-drop mutation is invisible to the workload oracles;
+            // only the trace-stream oracle can catch it.
+            if mutation == "mut-trace-drop-event" {
+                base.trace = true;
+            }
             eprintln!(
                 "selftest: hunting `{mutation}` on the {} workload (budget {} seeds x {} strategies)",
                 workload.name(),
@@ -300,7 +315,7 @@ fn run_selftest(args: &Args) -> ExitCode {
                 // All strategies take part — a detector that only works
                 // under one scheduler is too fragile to trust.
                 for strategy in StrategyKind::ALL {
-                    let cfg = sweep_config(&args.base, workload, strategy, seed);
+                    let cfg = sweep_config(&base, workload, strategy, seed);
                     let outcome = run_once(&cfg);
                     schedules += 1;
                     if outcome.failed() {

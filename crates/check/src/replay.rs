@@ -108,6 +108,9 @@ pub fn write(cfg: &CheckConfig) -> String {
     if let Some(fault) = &cfg.fault {
         out.push_str(&format!("fault={}\n", fault_string(fault)));
     }
+    if cfg.trace {
+        out.push_str("trace=true\n");
+    }
     out
 }
 
@@ -144,6 +147,7 @@ pub fn parse(text: &str) -> Result<CheckConfig, String> {
             }
             "chaos_ns" => cfg.chaos_ns = value.parse().map_err(|_| bad("chaos_ns"))?,
             "fault" => cfg.fault = Some(parse_fault(value)?),
+            "trace" => cfg.trace = value.parse().map_err(|_| bad("trace"))?,
             _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
         }
     }
@@ -177,6 +181,7 @@ mod tests {
                 every: 7,
                 max_hits: 3,
             }),
+            trace: true,
         };
         let text = write(&cfg);
         let parsed = parse(&text).expect("replay text must parse");
@@ -197,6 +202,7 @@ mod tests {
         assert!(parse("workload=quantum\n").is_err());
         assert!(parse("nonsense\n").is_err());
         assert!(parse("bogus_key=1\n").is_err());
+        assert!(parse("trace=maybe\n").is_err());
         assert!(parse_fault("begin:conflict").is_err());
         assert!(parse_fault("begin:conflict:x").is_err());
         assert!(parse_fault("begin:warp:3").is_err());

@@ -202,6 +202,26 @@ fn defer_now(ale: &Ale, rng: &mut Rng) -> bool {
     p >= 1000 || rng.gen_ratio(p, 1000)
 }
 
+/// Trace hook: one `ModeDecision` record per completed execution. The
+/// enabled-check keeps label interning (a mutex) off the disabled path; the
+/// `mut-trace-drop-event` self-test mutation skips SWOpt completions so
+/// ale-check can prove the trace-digest oracle notices a dropped emit.
+#[inline]
+fn trace_mode_decision(meta: &LockMeta, mode: ExecMode, why: u8, attempts: u64) {
+    if !ale_trace::is_enabled() {
+        return;
+    }
+    if cfg!(feature = "mut-trace-drop-event") && mode == ExecMode::SwOpt {
+        return;
+    }
+    ale_trace::emit(ale_trace::TraceEvent::mode_decision(
+        ale_trace::label_id(meta.label()),
+        mode.index() as u8,
+        why,
+        attempts,
+    ));
+}
+
 /// Can an existing hold satisfy a nested requirement?
 fn hold_satisfies(held: HeldKind, required: HeldKind) -> bool {
     match (held, required) {
@@ -444,6 +464,12 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                         lock: meta.label(),
                         mode: ExecMode::Htm,
                     });
+                    trace_mode_decision(
+                        meta,
+                        ExecMode::Htm,
+                        ale_trace::reason::HTM_COMMIT,
+                        rec.htm_attempts as u64,
+                    );
                     return v;
                 }
                 Ok(CsOutcome::SwOptFail | CsOutcome::SwOptSelfAbort) => {
@@ -464,6 +490,15 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                         lock: meta.label(),
                         code: status.code,
                     });
+                    if ale_trace::is_enabled() {
+                        ale_trace::emit(ale_trace::TraceEvent::htm_abort(
+                            ale_trace::label_id(meta.label()),
+                            status.code.class(),
+                            status.code.detail(),
+                            status.may_retry,
+                            rec.htm_attempts as u64,
+                        ));
+                    }
                     if let Some(t0) = t0 {
                         rec.htm_fail_ns += now().saturating_sub(t0);
                     }
@@ -594,6 +629,12 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                         lock: meta.label(),
                         mode: ExecMode::SwOpt,
                     });
+                    trace_mode_decision(
+                        meta,
+                        ExecMode::SwOpt,
+                        ale_trace::reason::SWOPT_COMMIT,
+                        (rec.htm_attempts + rec.swopt_attempts) as u64,
+                    );
                     finish(rec);
                     return v;
                 }
@@ -697,6 +738,19 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                 lock: meta.label(),
                 mode: ExecMode::Lock,
             });
+            let why = if reentrant {
+                ale_trace::reason::LOCK_REENTRANT
+            } else if rec.htm_attempts + rec.swopt_attempts > 0 || rec.breaker_tripped {
+                ale_trace::reason::LOCK_FALLBACK
+            } else {
+                ale_trace::reason::LOCK_PLANNED
+            };
+            trace_mode_decision(
+                meta,
+                ExecMode::Lock,
+                why,
+                (rec.htm_attempts + rec.swopt_attempts + 1) as u64,
+            );
             finish(rec);
             v
         }
@@ -737,10 +791,20 @@ fn acquire_with_watchdog<O: LockOps + ?Sized>(ale: &Ale, meta: &LockMeta, ops: &
         return ops.acquire();
     }
     let start = now();
+    let mut expiries = 0u64;
     loop {
         if let Some(kind) = ops.acquire_for(budget) {
+            if expiries > 0 && ale_trace::is_enabled() {
+                // A previously stalled acquisition eventually succeeded.
+                ale_trace::emit(ale_trace::TraceEvent::stall_clear(
+                    ale_trace::label_id(meta.label()),
+                    expiries.min(u8::MAX as u64) as u8,
+                    now().saturating_sub(start),
+                ));
+            }
             return kind;
         }
+        expiries += 1;
         emit(CsEvent::LockStall {
             lock: meta.label(),
             waited_ns: now().saturating_sub(start),

@@ -199,6 +199,13 @@ impl GranuleTable {
             policy_state: make_state(),
             breaker: self.breaker_cfg.clone().map(StormBreaker::new),
         });
+        if let Some(b) = &granule.breaker {
+            // Granule creation is once per (lock, context); interning here
+            // keeps label lookups off the breaker's edge paths.
+            if ale_trace::is_enabled() {
+                b.set_trace_label(ale_trace::label_id(&granule.describe()));
+            }
+        }
         if owned.len() >= MAX_GRANULES_PER_LOCK {
             // Overflow: merge into the last granule rather than grow.
             return Arc::clone(owned.last().expect("table full implies nonempty"));

@@ -110,6 +110,12 @@ pub struct AleConfig {
     /// keeps waiting — the watchdog reports, it does not break mutual
     /// exclusion). 0 (default) disables the watchdog.
     pub stall_watchdog_ns: u64,
+    /// Trace configuration. `None` (default) leaves the process-wide trace
+    /// gate untouched; `Some` installs the configuration when the library
+    /// instance is created (see [`ale_trace::configure`]). With tracing
+    /// disabled every emit site costs one branch and runs are bit-identical
+    /// to an uninstrumented build.
+    pub trace: Option<ale_trace::TraceConfig>,
 }
 
 impl AleConfig {
@@ -125,6 +131,7 @@ impl AleConfig {
             seed: 0xA1E_5EED,
             breaker: None,
             stall_watchdog_ns: 0,
+            trace: None,
         }
     }
 
@@ -175,6 +182,12 @@ impl AleConfig {
     /// Enable the Lock-mode stall watchdog with the given budget.
     pub fn with_stall_watchdog(mut self, budget_ns: u64) -> Self {
         self.stall_watchdog_ns = budget_ns;
+        self
+    }
+
+    /// Install a trace configuration when the library instance is created.
+    pub fn with_trace(mut self, cfg: ale_trace::TraceConfig) -> Self {
+        self.trace = Some(cfg);
         self
     }
 }
@@ -237,6 +250,9 @@ thread_local! {
 impl Ale {
     /// Create a library instance with the given policy.
     pub fn new(config: AleConfig, policy: impl Policy) -> Arc<Ale> {
+        if let Some(t) = &config.trace {
+            ale_trace::configure(t);
+        }
         let htm_profile = if config.enable_htm {
             config.platform.htm.clone()
         } else {

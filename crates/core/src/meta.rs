@@ -80,6 +80,11 @@ impl LockMeta {
     /// flag).
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
+        if ale_trace::is_enabled() {
+            ale_trace::emit(ale_trace::TraceEvent::lock_poison(ale_trace::label_id(
+                self.label,
+            )));
+        }
     }
 
     /// Explicit recovery: the caller asserts the protected data is

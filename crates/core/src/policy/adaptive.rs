@@ -554,6 +554,13 @@ impl AdaptivePolicy {
 
         inner.epoch += 1;
         state.stage.store(pack_stage(next_stage), Ordering::Release);
+        if ale_trace::is_enabled() {
+            ale_trace::emit(ale_trace::TraceEvent::phase_transition(
+                ale_trace::label_id(meta.label()),
+                expected_stage_word,
+                pack_stage(next_stage),
+            ));
+        }
     }
 
     /// Upper bound for the §4.2 interpolation: the best measured non-HTM
@@ -724,6 +731,7 @@ impl Policy for AdaptivePolicy {
 
     fn reset(&self, meta: &LockMeta) {
         let state = self.lock_state(meta);
+        let from_word = state.stage.load(Ordering::Acquire);
         let mut inner = state.inner.lock();
         inner.remaining.clear();
         inner.lock_avg.clear();
@@ -741,13 +749,18 @@ impl Policy for AdaptivePolicy {
             ag.custom_prog
                 .store(Progression::LockOnly.index() as u32, Ordering::Relaxed);
         }
-        state.stage.store(
-            pack_stage(Stage::Learn {
-                prog: Progression::LockOnly,
-                sub: 0,
-            }),
-            Ordering::Release,
-        );
+        let fresh = Stage::Learn {
+            prog: Progression::LockOnly,
+            sub: 0,
+        };
+        state.stage.store(pack_stage(fresh), Ordering::Release);
+        if ale_trace::is_enabled() {
+            ale_trace::emit(ale_trace::TraceEvent::phase_transition(
+                ale_trace::label_id(meta.label()),
+                from_word,
+                pack_stage(fresh),
+            ));
+        }
     }
 
     fn describe_lock(&self, meta: &LockMeta) -> String {

@@ -15,6 +15,11 @@ use crate::meta::LockMeta;
 use crate::mode::ExecMode;
 use crate::Ale;
 
+/// Minimum samples [`SampledTime`](ale_sync::SampledTime) must hold before
+/// a mean is believed; below this `avg_success_ns` stays `None` and the
+/// `Display` rendering says "warming up" instead of fabricating a number.
+pub const MIN_AVG_SAMPLES: u64 = 1;
+
 /// Snapshot of one granule's statistics.
 #[derive(Debug, Clone)]
 pub struct GranuleReport {
@@ -24,7 +29,11 @@ pub struct GranuleReport {
     /// Per mode (HTM/SWOpt/Lock): attempts, successes, avg success ns.
     pub attempts: [u64; 3],
     pub successes: [u64; 3],
+    /// `None` until [`MIN_AVG_SAMPLES`] timing samples exist for the mode
+    /// (exporters must skip it rather than render NaN).
     pub avg_success_ns: [Option<u64>; 3],
+    /// Timing samples recorded per mode (how warmed-up each average is).
+    pub time_samples: [u64; 3],
     /// Sampled time recorded per mode ("how much time was spent in each
     /// mode", §3.4). Comparable across modes of one granule.
     pub sampled_time_ns: [u64; 3],
@@ -98,7 +107,10 @@ pub(crate) fn build(ale: &Ale, metas: &[Arc<LockMeta>]) -> Report {
                         executions: s.executions.read(),
                         attempts: std::array::from_fn(|i| s.attempts[i].read()),
                         successes: std::array::from_fn(|i| s.successes[i].read()),
-                        avg_success_ns: std::array::from_fn(|i| s.success_time[i].avg_ns(1)),
+                        avg_success_ns: std::array::from_fn(|i| {
+                            s.success_time[i].avg_ns(MIN_AVG_SAMPLES)
+                        }),
+                        time_samples: std::array::from_fn(|i| s.success_time[i].samples()),
                         sampled_time_ns: std::array::from_fn(|i| s.success_time[i].total_ns()),
                         lock_held_aborts: s.lock_held_aborts.read(),
                         conflict_aborts: s.conflict_aborts.read(),
@@ -151,7 +163,7 @@ impl std::fmt::Display for Report {
                     }
                     let avg = g.avg_success_ns[i]
                         .map(|n| format!("{n} ns"))
-                        .unwrap_or_else(|| "-".into());
+                        .unwrap_or_else(|| format!("warming up (n<{MIN_AVG_SAMPLES})"));
                     let share = g
                         .time_share(mode)
                         .map(|sh| format!("{:.0} %", sh * 100.0))
@@ -219,5 +231,231 @@ impl Report {
     /// Find a lock's report by label.
     pub fn lock(&self, label: &str) -> Option<&LockReport> {
         self.locks.iter().find(|l| l.label == label)
+    }
+
+    /// Prometheus text-exposition snapshot of the per-granule metrics.
+    ///
+    /// Metric names and label sets are a stable surface (guarded by a
+    /// golden-snapshot test); extend only by adding new families. The
+    /// output is NaN-free by construction: averages below
+    /// [`MIN_AVG_SAMPLES`] are absent rather than rendered as NaN.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = ale_trace::PromWriter::new();
+        let each = |f: &mut dyn FnMut(&LockReport, &GranuleReport)| {
+            for lock in &self.locks {
+                for g in &lock.granules {
+                    f(lock, g);
+                }
+            }
+        };
+
+        w.family(
+            "ale_granule_executions_total",
+            "Completed critical-section executions per granule.",
+            "counter",
+        );
+        each(&mut |l, g| {
+            w.sample(
+                "ale_granule_executions_total",
+                &[("lock", l.label), ("context", &g.context)],
+                g.executions as f64,
+            );
+        });
+
+        w.family(
+            "ale_granule_attempts_total",
+            "Execution attempts per granule and mode.",
+            "counter",
+        );
+        each(&mut |l, g| {
+            for mode in ExecMode::ALL {
+                w.sample(
+                    "ale_granule_attempts_total",
+                    &[
+                        ("lock", l.label),
+                        ("context", &g.context),
+                        ("mode", mode.name()),
+                    ],
+                    g.attempts[mode.index()] as f64,
+                );
+            }
+        });
+
+        w.family(
+            "ale_granule_successes_total",
+            "Successful executions per granule and mode.",
+            "counter",
+        );
+        each(&mut |l, g| {
+            for mode in ExecMode::ALL {
+                w.sample(
+                    "ale_granule_successes_total",
+                    &[
+                        ("lock", l.label),
+                        ("context", &g.context),
+                        ("mode", mode.name()),
+                    ],
+                    g.successes[mode.index()] as f64,
+                );
+            }
+        });
+
+        w.family(
+            "ale_granule_avg_success_ns",
+            "Mean successful-execution time per granule and mode \
+             (absent until warmed up).",
+            "gauge",
+        );
+        each(&mut |l, g| {
+            for mode in ExecMode::ALL {
+                if let Some(ns) = g.avg_success_ns[mode.index()] {
+                    w.sample(
+                        "ale_granule_avg_success_ns",
+                        &[
+                            ("lock", l.label),
+                            ("context", &g.context),
+                            ("mode", mode.name()),
+                        ],
+                        ns as f64,
+                    );
+                }
+            }
+        });
+
+        w.family(
+            "ale_granule_sampled_time_ns_total",
+            "Sampled time spent in successful executions per granule and mode.",
+            "counter",
+        );
+        each(&mut |l, g| {
+            for mode in ExecMode::ALL {
+                w.sample(
+                    "ale_granule_sampled_time_ns_total",
+                    &[
+                        ("lock", l.label),
+                        ("context", &g.context),
+                        ("mode", mode.name()),
+                    ],
+                    g.sampled_time_ns[mode.index()] as f64,
+                );
+            }
+        });
+
+        w.family(
+            "ale_granule_htm_aborts_total",
+            "HTM aborts per granule by classification.",
+            "counter",
+        );
+        each(&mut |l, g| {
+            for (class, count) in [
+                ("lock_held", g.lock_held_aborts),
+                ("conflict", g.conflict_aborts),
+                ("capacity", g.capacity_aborts),
+                ("spurious", g.spurious_aborts),
+            ] {
+                w.sample(
+                    "ale_granule_htm_aborts_total",
+                    &[("lock", l.label), ("context", &g.context), ("class", class)],
+                    count as f64,
+                );
+            }
+        });
+
+        w.family(
+            "ale_granule_swopt_fails_total",
+            "SWOpt attempts that detected interference and retried.",
+            "counter",
+        );
+        each(&mut |l, g| {
+            w.sample(
+                "ale_granule_swopt_fails_total",
+                &[("lock", l.label), ("context", &g.context)],
+                g.swopt_fails as f64,
+            );
+        });
+
+        w.family(
+            "ale_granule_avg_exec_ns",
+            "Mean whole-execution time per granule, including failed \
+             attempts (absent until warmed up).",
+            "gauge",
+        );
+        each(&mut |l, g| {
+            if let Some(ns) = g.avg_exec_ns {
+                w.sample(
+                    "ale_granule_avg_exec_ns",
+                    &[("lock", l.label), ("context", &g.context)],
+                    ns as f64,
+                );
+            }
+        });
+
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A report with one warmed-up mode (Lock) and one cold mode (HTM,
+    /// attempts recorded but no timing samples yet).
+    fn demo_report() -> Report {
+        Report {
+            policy: "static(3, 10)".to_string(),
+            locks: vec![LockReport {
+                label: "demo_lock",
+                policy: String::new(),
+                granules: vec![GranuleReport {
+                    context: "insert".to_string(),
+                    executions: 8,
+                    attempts: [5, 0, 3],
+                    successes: [0, 0, 3],
+                    avg_success_ns: [None, None, Some(120)],
+                    time_samples: [0, 0, 3],
+                    sampled_time_ns: [0, 0, 360],
+                    lock_held_aborts: 2,
+                    conflict_aborts: 3,
+                    capacity_aborts: 0,
+                    spurious_aborts: 0,
+                    swopt_fails: 0,
+                    avg_exec_ns: None,
+                    policy: String::new(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn display_says_warming_up_instead_of_blank() {
+        let text = demo_report().to_string();
+        assert!(
+            text.contains(&format!("warming up (n<{MIN_AVG_SAMPLES})")),
+            "cold HTM average must render as warming up:\n{text}"
+        );
+        assert!(
+            text.contains("120 ns"),
+            "warm Lock average renders:\n{text}"
+        );
+        assert!(!text.contains("avg: -"), "the old blank rendering is gone");
+    }
+
+    #[test]
+    fn prometheus_output_is_nan_free_and_skips_cold_averages() {
+        let text = demo_report().to_prometheus();
+        assert!(!text.contains("NaN"), "NaN-free contract:\n{text}");
+        assert!(text.contains(
+            "ale_granule_avg_success_ns{lock=\"demo_lock\",context=\"insert\",mode=\"Lock\"} 120\n"
+        ));
+        assert!(
+            !text.contains("mode=\"HTM\"} NaN")
+                && !text
+                    .contains("avg_success_ns{lock=\"demo_lock\",context=\"insert\",mode=\"HTM\"}"),
+            "cold averages are absent, not zero or NaN:\n{text}"
+        );
+        assert!(text.contains(
+            "ale_granule_htm_aborts_total{lock=\"demo_lock\",context=\"insert\",class=\"conflict\"} 3\n"
+        ));
+        assert!(text.contains("# TYPE ale_granule_executions_total counter\n"));
     }
 }

@@ -1,0 +1,107 @@
+//! Golden-snapshot test for the Prometheus text exporter: metric names,
+//! label sets, and formatting are a stable surface other tooling scrapes,
+//! so any change must show up as a reviewed fixture diff.
+//!
+//! Regenerate the fixture after an intentional schema change with:
+//! `BLESS=1 cargo test -p ale-core --test prom_golden`
+
+use ale_core::{GranuleReport, LockReport, Report};
+
+/// A fully deterministic report exercising every metric family: one warm
+/// granule (all averages present), one cold granule (averages absent), and
+/// a context label that needs escaping.
+fn demo_report() -> Report {
+    Report {
+        policy: "adaptive".to_string(),
+        locks: vec![
+            LockReport {
+                label: "hash_lock",
+                policy: "final: uniform All".to_string(),
+                granules: vec![
+                    GranuleReport {
+                        context: "insert".to_string(),
+                        executions: 100,
+                        attempts: [60, 30, 10],
+                        successes: [55, 28, 10],
+                        avg_success_ns: [Some(210), Some(340), Some(900)],
+                        time_samples: [55, 28, 10],
+                        sampled_time_ns: [11_550, 9_520, 9_000],
+                        lock_held_aborts: 3,
+                        conflict_aborts: 2,
+                        capacity_aborts: 1,
+                        spurious_aborts: 0,
+                        swopt_fails: 2,
+                        avg_exec_ns: Some(260),
+                        policy: "All, X=3".to_string(),
+                    },
+                    GranuleReport {
+                        context: "lookup \"hot\"".to_string(),
+                        executions: 1,
+                        attempts: [1, 0, 0],
+                        successes: [0, 0, 0],
+                        avg_success_ns: [None, None, None],
+                        time_samples: [0, 0, 0],
+                        sampled_time_ns: [0, 0, 0],
+                        lock_held_aborts: 1,
+                        conflict_aborts: 0,
+                        capacity_aborts: 0,
+                        spurious_aborts: 0,
+                        swopt_fails: 0,
+                        avg_exec_ns: None,
+                        policy: String::new(),
+                    },
+                ],
+            },
+            LockReport {
+                label: "db_lock",
+                policy: String::new(),
+                granules: vec![GranuleReport {
+                    context: "<root>".to_string(),
+                    executions: 7,
+                    attempts: [0, 0, 7],
+                    successes: [0, 0, 7],
+                    avg_success_ns: [None, None, Some(1_500)],
+                    time_samples: [0, 0, 7],
+                    sampled_time_ns: [0, 0, 10_500],
+                    lock_held_aborts: 0,
+                    conflict_aborts: 0,
+                    capacity_aborts: 0,
+                    spurious_aborts: 0,
+                    swopt_fails: 0,
+                    avg_exec_ns: Some(1_500),
+                    policy: String::new(),
+                }],
+            },
+        ],
+    }
+}
+
+#[test]
+fn prometheus_snapshot_matches_golden_fixture() {
+    let got = demo_report().to_prometheus();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/report.prom");
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(path, &got).expect("write blessed fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect(
+        "fixture missing — regenerate with BLESS=1 cargo test -p ale-core --test prom_golden",
+    );
+    assert_eq!(
+        got, expected,
+        "Prometheus exporter output drifted from the golden fixture; if the \
+         change is intentional, regenerate with BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn prometheus_snapshot_has_no_nan_and_escapes_labels() {
+    let text = demo_report().to_prometheus();
+    assert!(!text.contains("NaN"));
+    assert!(
+        text.contains("context=\"lookup \\\"hot\\\"\""),
+        "label values must be escaped:\n{text}"
+    );
+    // The cold granule contributes no avg samples at all.
+    assert!(!text.contains("ale_granule_avg_success_ns{lock=\"hash_lock\",context=\"lookup"));
+}

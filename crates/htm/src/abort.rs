@@ -39,6 +39,27 @@ impl AbortCode {
     pub fn is_lock_held(self) -> bool {
         matches!(self, AbortCode::Explicit(Self::LOCK_HELD))
     }
+
+    /// Stable small integer for trace records: 0 conflict, 1 capacity,
+    /// 2 explicit, 3 spurious. Part of the trace event schema (DESIGN.md
+    /// §11) — extend only by appending.
+    pub fn class(self) -> u8 {
+        match self {
+            AbortCode::Conflict => 0,
+            AbortCode::Capacity => 1,
+            AbortCode::Explicit(_) => 2,
+            AbortCode::Spurious => 3,
+        }
+    }
+
+    /// The detail byte accompanying [`AbortCode::class`]: the user code of
+    /// an explicit abort, 0 otherwise.
+    pub fn detail(self) -> u8 {
+        match self {
+            AbortCode::Explicit(code) => code,
+            _ => 0,
+        }
+    }
 }
 
 /// Full abort status: code plus the hardware's retry hint.

@@ -105,6 +105,8 @@ pub struct StormBreaker {
     prev_attempts: AtomicU32,
     trips: AtomicU64,
     restores: AtomicU64,
+    /// Interned trace label for breaker-edge events (0 = unlabelled).
+    trace_label: AtomicU32,
 }
 
 impl StormBreaker {
@@ -121,7 +123,38 @@ impl StormBreaker {
             prev_attempts: AtomicU32::new(0),
             trips: AtomicU64::new(0),
             restores: AtomicU64::new(0),
+            trace_label: AtomicU32::new(0),
         }
+    }
+
+    /// Attach an interned `ale_trace` label id; breaker-edge trace events
+    /// carry it so the merged stream attributes edges to a granule.
+    pub fn set_trace_label(&self, id: u16) {
+        self.trace_label.store(id as u32, Ordering::Relaxed);
+    }
+
+    /// Trace hook for a circuit edge `from` → `to` (0 Closed, 1 Open,
+    /// 2 HalfOpen). `ale_trace::emit` self-gates to one branch when
+    /// tracing is disabled; the extra loads here only run on edges, which
+    /// are rare by construction.
+    fn trace_edge(&self, from: u8, to: u8, level: u32) {
+        if !ale_trace::is_enabled() {
+            return;
+        }
+        let cooldown = if to == OPEN as u8 {
+            self.open_until
+                .load(Ordering::Relaxed)
+                .saturating_sub(now())
+        } else {
+            0
+        };
+        ale_trace::emit(ale_trace::TraceEvent::breaker_edge(
+            self.trace_label.load(Ordering::Relaxed) as u16,
+            from,
+            to,
+            level.min(u8::MAX as u32) as u8,
+            cooldown,
+        ));
     }
 
     pub fn config(&self) -> &BreakerConfig {
@@ -172,6 +205,7 @@ impl StormBreaker {
                     .is_ok()
                 {
                     self.reset_buckets();
+                    self.trace_edge(1, 2, self.trip_level.load(Ordering::Relaxed));
                 }
                 true
             }
@@ -193,6 +227,7 @@ impl StormBreaker {
             self.reset_buckets();
             self.trip_level.store(0, Ordering::Relaxed);
             self.restores.fetch_add(1, Ordering::Relaxed);
+            self.trace_edge(2, 0, 0);
             return BreakerTransition::Restored;
         }
         BreakerTransition::None
@@ -229,11 +264,13 @@ impl StormBreaker {
                 self.trip_level.store(1, Ordering::Relaxed);
                 self.arm_cooldown(1, rng);
                 self.trips.fetch_add(1, Ordering::Relaxed);
+                self.trace_edge(0, 1, 1);
                 return BreakerTransition::Tripped;
             }
             // A probe cohort re-confirmed the storm: deepen, don't count.
             let level = self.trip_level.fetch_add(1, Ordering::Relaxed) + 1;
             self.arm_cooldown(level, rng);
+            self.trace_edge(2, 1, level);
         }
         BreakerTransition::None
     }

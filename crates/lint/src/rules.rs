@@ -5,7 +5,7 @@
 //! | `safety-comment` | every `unsafe` is annotated with `// SAFETY:` (or a `# Safety` doc section) within the five preceding lines |
 //! | `conflicting-region-balance` | `begin_conflicting_action` / `end_conflicting_action` pair up within one function, with no `return` / `?` / `break` escaping the open region |
 //! | `swopt-purity` | SWOpt (optimistic) read paths perform no writes — `store(` / `fetch_*` / `get_mut` / `lock()` — outside a conflicting-region bracket |
-//! | `htm-body-hygiene` | code passed to the HTM engine avoids `Box::new`, `Vec::push`, `println!`, `panic!`, `.unwrap()`, `.expect()` (allocation / IO / unwinding abort transactions or leak) |
+//! | `htm-body-hygiene` | code passed to the HTM engine avoids `Box::new`, `Vec::push`, `println!`, `panic!`, `.unwrap()`, `.expect()` (allocation / IO / unwinding abort transactions or leak); `trace::emit(..)` spans are exempt (HTM-safe by construction) |
 //! | `ordering-discipline` | `Ordering::Relaxed` is forbidden on stores to lock words and version/publication fields |
 
 use crate::lexer::{match_delim, FileModel, FnExtent, Tok, TokKind};
@@ -231,9 +231,24 @@ fn swopt_purity(ctx: &FileCtx) -> Vec<Finding> {
     out
 }
 
+/// Is the token at `i` the head of a `trace::emit(..)` /
+/// `ale_trace::emit(..)` call path?
+fn is_trace_emit(toks: &[Tok], i: usize) -> bool {
+    (toks[i].is_ident("trace") || toks[i].is_ident("ale_trace"))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident("emit"))
+        && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+}
+
 /// `htm-body-hygiene`: code passed to the HTM engine (closure arguments of
 /// `attempt(..)` / `attempt_rtm(..)`, plus functions opted in with the
 /// `htm-body` marker comment) must avoid allocation, IO, and unwinding.
+///
+/// One call is exempt: `trace::emit(..)` / `ale_trace::emit(..)`. The
+/// event rings are HTM-safe by construction — a branch plus a handful of
+/// thread-local stores, no allocation, IO, or unwinding — so emits (and
+/// their argument spans) inside transaction bodies do not flag.
 fn htm_body_hygiene(ctx: &FileCtx) -> Vec<Finding> {
     if !ctx.is_src {
         return Vec::new();
@@ -256,9 +271,16 @@ fn htm_body_hygiene(ctx: &FileCtx) -> Vec<Finding> {
 
     let mut out = Vec::new();
     for (start, end, what) in extents {
-        for i in start..=end.min(ctx.toks.len() - 1) {
+        let end = end.min(ctx.toks.len() - 1);
+        let mut i = start;
+        while i <= end {
+            if is_trace_emit(ctx.toks, i) {
+                i = match_delim(ctx.toks, i + 4, '(', ')') + 1;
+                continue;
+            }
             let t = &ctx.toks[i];
             if t.kind != TokKind::Ident {
+                i += 1;
                 continue;
             }
             let prev_dot = i > 0 && ctx.toks[i - 1].is_punct('.');
@@ -281,6 +303,7 @@ fn htm_body_hygiene(ctx: &FileCtx) -> Vec<Finding> {
                     ),
                 ));
             }
+            i += 1;
         }
     }
     out

@@ -1,0 +1,21 @@
+//! Fixture: transaction bodies that emit trace events. The event rings are
+//! HTM-safe by construction, so `trace::emit(..)` / `ale_trace::emit(..)`
+//! call spans inside HTM-executed code are exempt from the hygiene scan —
+//! even when an argument expression contains a token the rule would
+//! otherwise flag. Expect zero `htm-body-hygiene` findings.
+
+pub fn traced_transaction(profile: &HtmProfile, rng: &mut Rng, cell: &HtmCell) {
+    let _ = attempt(profile, rng, || {
+        let v = cell.get();
+        trace::emit(TraceEvent::mode_decision(label, Mode::Htm as u64));
+        cell.set(v + 1);
+    });
+}
+
+// ale-lint: htm-body
+pub fn marked_traced_helper(cell: &HtmCell, label: u16) -> u64 {
+    // The `.unwrap()` below sits inside the emit's argument span, which the
+    // rule skips wholesale; outside that span it would flag.
+    ale_trace::emit(TraceEvent::abort(label, code_for(cell).unwrap()));
+    cell.get().wrapping_add(1)
+}

@@ -94,6 +94,14 @@ fn htm_body_bad_flags_all_six_hazards() {
 }
 
 #[test]
+fn htm_body_trace_emits_are_exempt() {
+    // `trace::emit(..)` / `ale_trace::emit(..)` spans inside transaction
+    // bodies are skipped wholesale — including an `.unwrap()` that sits
+    // inside an emit's argument list.
+    assert_clean("htm_body_trace_good.rs", "htm-body-hygiene");
+}
+
+#[test]
 fn ordering_good_is_clean() {
     assert_clean("ordering_good.rs", "ordering-discipline");
 }

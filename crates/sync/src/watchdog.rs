@@ -84,13 +84,30 @@ pub(crate) fn park_thresholds() -> (u64, u64) {
     )
 }
 
-/// Emit an event to the observer, if one is installed.
+/// Emit an event to the observer, if one is installed, and mirror it into
+/// the trace stream as a `StallWarn` record.
 #[inline]
 pub(crate) fn emit(ev: StallEvent) {
+    trace_stall(&ev);
     if !ENABLED.load(Ordering::Relaxed) {
         return;
     }
     emit_slow(&ev);
+}
+
+/// `ale_trace::emit` self-gates to one relaxed load + branch, so with
+/// tracing disabled (the default) this adds nothing measurable to the
+/// stall path — and stalls are off the hot path to begin with.
+#[inline]
+fn trace_stall(ev: &StallEvent) {
+    if !ale_trace::is_enabled() {
+        return;
+    }
+    let te = match *ev {
+        StallEvent::SwOptParked { bumps, .. } => ale_trace::TraceEvent::stall_warn(0, 1, bumps),
+        StallEvent::LockTimeout { waited_ns } => ale_trace::TraceEvent::stall_warn(0, 2, waited_ns),
+    };
+    ale_trace::emit(te);
 }
 
 #[cold]

@@ -1,0 +1,247 @@
+//! The fixed-size binary trace record.
+//!
+//! Every observable decision in the runtime is reduced to one 32-byte
+//! [`TraceEvent`]: a virtual timestamp, the emitting lane, a per-ring
+//! sequence number, an interned label (lock or granule context), a
+//! [`EventKind`] discriminant and three small operand bytes plus one
+//! 64-bit payload. Fixed size keeps ring writes a single slot store and
+//! makes the on-wire encoding (and therefore the determinism digest)
+//! trivial to specify: all fields little-endian in declaration order.
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A critical section completed; `a` = mode (0 HTM, 1 SWOpt, 2 Lock),
+    /// `b` = reason ([`reason`] codes), payload = execution attempts.
+    ModeDecision = 1,
+    /// A hardware transaction aborted; `a` = abort class
+    /// (0 conflict, 1 capacity, 2 explicit, 3 spurious), `b` = explicit
+    /// user code (0 otherwise), `c` = retry hint, payload = attempt index.
+    HtmAbort = 2,
+    /// The adaptive policy moved between phases; payload packs the stage
+    /// words as `from << 32 | to`.
+    PhaseTransition = 3,
+    /// The abort-storm breaker changed state; `a` = from, `b` = to
+    /// (0 Closed, 1 Open, 2 HalfOpen), `c` = backoff level,
+    /// payload = cooldown ns (0 where not applicable).
+    BreakerEdge = 4,
+    /// A stall was observed; `a` = 1 SWOpt reader parked / 2 lock
+    /// acquisition timed out, payload = bumps or waited ns.
+    StallWarn = 5,
+    /// A previously stalled acquisition eventually succeeded;
+    /// payload = total ns spent waiting, `a` = expiries survived.
+    StallClear = 6,
+    /// A lock was poisoned by a panicking critical section.
+    LockPoison = 7,
+}
+
+impl EventKind {
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::ModeDecision,
+            2 => EventKind::HtmAbort,
+            3 => EventKind::PhaseTransition,
+            4 => EventKind::BreakerEdge,
+            5 => EventKind::StallWarn,
+            6 => EventKind::StallClear,
+            7 => EventKind::LockPoison,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::ModeDecision => "mode_decision",
+            EventKind::HtmAbort => "htm_abort",
+            EventKind::PhaseTransition => "phase_transition",
+            EventKind::BreakerEdge => "breaker_edge",
+            EventKind::StallWarn => "stall_warn",
+            EventKind::StallClear => "stall_clear",
+            EventKind::LockPoison => "lock_poison",
+        }
+    }
+}
+
+/// Reason codes carried in `b` by [`EventKind::ModeDecision`] events.
+pub mod reason {
+    /// The hardware transaction committed.
+    pub const HTM_COMMIT: u8 = 0;
+    /// The optimistic software path validated and committed.
+    pub const SWOPT_COMMIT: u8 = 1;
+    /// Lock mode was the plan from the start (no elision budget).
+    pub const LOCK_PLANNED: u8 = 2;
+    /// Both elision budgets were exhausted; fell back to the lock.
+    pub const LOCK_FALLBACK: u8 = 3;
+    /// The lock was already held reentrantly by this thread.
+    pub const LOCK_REENTRANT: u8 = 4;
+}
+
+/// One fixed-size binary trace record (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceEvent {
+    /// Virtual (or real monotonic) nanosecond timestamp at emit time.
+    pub vtime: u64,
+    /// Kind-specific operand (durations, packed stage words, …).
+    pub payload: u64,
+    /// Per-ring write index; with `lane` it makes the merge order total.
+    pub seq: u32,
+    /// Simulator lane (or ring registration index outside a simulation).
+    pub lane: u16,
+    /// Interned label id (see [`crate::label_id`]); 0 = unlabelled.
+    pub label: u16,
+    /// [`EventKind`] discriminant (0 only in never-written ring slots).
+    pub kind: u8,
+    pub a: u8,
+    pub b: u8,
+    pub c: u8,
+}
+
+impl TraceEvent {
+    fn new(kind: EventKind, label: u16, a: u8, b: u8, c: u8, payload: u64) -> TraceEvent {
+        TraceEvent {
+            vtime: 0,
+            payload,
+            seq: 0,
+            lane: 0,
+            label,
+            kind: kind as u8,
+            a,
+            b,
+            c,
+        }
+    }
+
+    /// A critical section completed in `mode` for `reason`, after
+    /// `attempts` executions of the body.
+    pub fn mode_decision(label: u16, mode: u8, why: u8, attempts: u64) -> TraceEvent {
+        TraceEvent::new(EventKind::ModeDecision, label, mode, why, 0, attempts)
+    }
+
+    /// A hardware transaction aborted with the given classification.
+    pub fn htm_abort(
+        label: u16,
+        class: u8,
+        detail: u8,
+        may_retry: bool,
+        attempt: u64,
+    ) -> TraceEvent {
+        TraceEvent::new(
+            EventKind::HtmAbort,
+            label,
+            class,
+            detail,
+            may_retry as u8,
+            attempt,
+        )
+    }
+
+    /// The adaptive stage machine moved `from_word` → `to_word` (packed
+    /// stage words, both < 2³²).
+    pub fn phase_transition(label: u16, from_word: u64, to_word: u64) -> TraceEvent {
+        TraceEvent::new(
+            EventKind::PhaseTransition,
+            label,
+            0,
+            0,
+            0,
+            (from_word << 32) | (to_word & 0xFFFF_FFFF),
+        )
+    }
+
+    /// The abort-storm breaker crossed a state edge.
+    pub fn breaker_edge(label: u16, from: u8, to: u8, level: u8, cooldown_ns: u64) -> TraceEvent {
+        TraceEvent::new(EventKind::BreakerEdge, label, from, to, level, cooldown_ns)
+    }
+
+    /// A stall was detected (`stall_kind`: 1 SWOpt parked, 2 lock timeout).
+    pub fn stall_warn(label: u16, stall_kind: u8, magnitude: u64) -> TraceEvent {
+        TraceEvent::new(EventKind::StallWarn, label, stall_kind, 0, 0, magnitude)
+    }
+
+    /// A stalled acquisition recovered after `expiries` deadline misses.
+    pub fn stall_clear(label: u16, expiries: u8, waited_ns: u64) -> TraceEvent {
+        TraceEvent::new(EventKind::StallClear, label, expiries, 0, 0, waited_ns)
+    }
+
+    /// A critical section panicked and poisoned its lock.
+    pub fn lock_poison(label: u16) -> TraceEvent {
+        TraceEvent::new(EventKind::LockPoison, label, 0, 0, 0, 0)
+    }
+
+    /// The event's kind, if the discriminant is valid (it always is for
+    /// events produced by the constructors above).
+    pub fn kind(&self) -> Option<EventKind> {
+        EventKind::from_u8(self.kind)
+    }
+
+    /// Canonical binary encoding: every field little-endian in declaration
+    /// order. This is the digest surface of the determinism contract —
+    /// extend it only by appending.
+    pub fn encode(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        out[0..8].copy_from_slice(&self.vtime.to_le_bytes());
+        out[8..16].copy_from_slice(&self.payload.to_le_bytes());
+        out[16..20].copy_from_slice(&self.seq.to_le_bytes());
+        out[20..22].copy_from_slice(&self.lane.to_le_bytes());
+        out[22..24].copy_from_slice(&self.label.to_le_bytes());
+        out[24] = self.kind;
+        out[25] = self.a;
+        out[26] = self.b;
+        out[27] = self.c;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip() {
+        for k in [
+            EventKind::ModeDecision,
+            EventKind::HtmAbort,
+            EventKind::PhaseTransition,
+            EventKind::BreakerEdge,
+            EventKind::StallWarn,
+            EventKind::StallClear,
+            EventKind::LockPoison,
+        ] {
+            assert_eq!(EventKind::from_u8(k as u8), Some(k));
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(EventKind::from_u8(0), None);
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn constructors_tag_kinds() {
+        assert_eq!(
+            TraceEvent::mode_decision(3, 1, reason::SWOPT_COMMIT, 2).kind(),
+            Some(EventKind::ModeDecision)
+        );
+        let ab = TraceEvent::htm_abort(1, 0, 0xFF, true, 4);
+        assert_eq!(ab.kind(), Some(EventKind::HtmAbort));
+        assert_eq!(ab.c, 1);
+        let ph = TraceEvent::phase_transition(2, 5, 9);
+        assert_eq!(ph.payload, (5 << 32) | 9);
+        assert_eq!(TraceEvent::lock_poison(7).label, 7);
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let mut ev = TraceEvent::breaker_edge(0x0102, 0, 1, 2, 0x55);
+        ev.vtime = 0x1122_3344;
+        ev.seq = 7;
+        ev.lane = 3;
+        let bytes = ev.encode();
+        assert_eq!(&bytes[0..4], &[0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(bytes[8], 0x55);
+        assert_eq!(bytes[16], 7);
+        assert_eq!(bytes[20], 3);
+        assert_eq!(&bytes[22..24], &[0x02, 0x01]);
+        assert_eq!(bytes[24], EventKind::BreakerEdge as u8);
+        assert_eq!(&bytes[25..28], &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Label interning: trace records carry a `u16` id instead of a string.
+//!
+//! Ids are assigned in first-use order. Under the deterministic simulator
+//! first use is itself deterministic, and the table is *never cleared* —
+//! re-running the same workload in one process resolves every label to the
+//! id it already has — so same-seed runs agree on ids, streams, and
+//! digests. Id 0 is reserved for the empty ("unlabelled") string.
+//!
+//! Interning takes a mutex, so it belongs on emit's already-cold path (or
+//! better, at site setup); the disabled-trace fast path never gets here.
+
+use std::sync::{Mutex, OnceLock};
+
+fn table() -> &'static Mutex<Vec<String>> {
+    static TABLE: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(vec![String::new()]))
+}
+
+/// The id for `name`, interning it on first use. A table overflow (more
+/// than `u16::MAX` distinct labels) degrades to the unlabelled id 0.
+pub fn label_id(name: &str) -> u16 {
+    if name.is_empty() {
+        return 0;
+    }
+    let mut t = table().lock().unwrap();
+    if let Some(i) = t.iter().position(|s| s == name) {
+        return i as u16;
+    }
+    if t.len() > u16::MAX as usize {
+        return 0;
+    }
+    t.push(name.to_string());
+    (t.len() - 1) as u16
+}
+
+/// The label behind `id` (empty string for id 0 or an unknown id).
+pub fn label_name(id: u16) -> String {
+    table()
+        .lock()
+        .unwrap()
+        .get(id as usize)
+        .cloned()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_reserved() {
+        assert_eq!(label_id(""), 0);
+        assert_eq!(label_name(0), "");
+        let a = label_id("trace-intern-test-a");
+        let b = label_id("trace-intern-test-b");
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(label_id("trace-intern-test-a"), a);
+        assert_eq!(label_name(a), "trace-intern-test-a");
+        assert_eq!(label_name(u16::MAX), "");
+    }
+}

@@ -1,0 +1,199 @@
+//! Lock-free bounded single-producer ring of [`TraceEvent`] records.
+//!
+//! Each tracing thread owns exactly one ring: the emitting thread is the
+//! only producer, and the drain side runs after producers quiesce (or, at
+//! worst, concurrently — the head/tail protocol below stays safe either
+//! way). The ring **drops the newest** record when full rather than
+//! overwriting history: an unread slot is never touched again, which is
+//! what makes torn reads impossible by construction, and the drop counter
+//! keeps the accounting honest (`writes == drained + drops`, the ale-check
+//! oracle from `tests/prop.rs`).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::TraceEvent;
+
+/// Bounded SPSC ring. See the module docs for the producer/consumer roles.
+pub struct Ring {
+    slots: Box<[UnsafeCell<TraceEvent>]>,
+    /// `capacity - 1`; the capacity is always a power of two.
+    mask: usize,
+    /// Next write index (monotone, producer-published with Release).
+    head: AtomicU64,
+    /// Next read index (monotone, consumer-published with Release).
+    tail: AtomicU64,
+    /// Records rejected because the ring was full.
+    drops: AtomicU64,
+    /// Lane hint used when no simulator lane id is available.
+    lane_hint: u16,
+}
+
+// SAFETY: the UnsafeCell slots are written only by the single producer and
+// only at indices the consumer has released (head - tail < capacity), and
+// read only at indices the producer has published (index < Acquire-loaded
+// head). All cross-thread visibility goes through the head/tail
+// Release/Acquire pairs.
+unsafe impl Sync for Ring {}
+// SAFETY: TraceEvent is plain data; ownership of the ring may move freely.
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// A ring holding at least `capacity` records (rounded up to a power of
+    /// two, minimum 8).
+    pub fn with_capacity(capacity: usize, lane_hint: u16) -> Ring {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots: Vec<UnsafeCell<TraceEvent>> = (0..cap)
+            .map(|_| UnsafeCell::new(TraceEvent::default()))
+            .collect();
+        Ring {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            lane_hint,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    pub fn lane_hint(&self) -> u16 {
+        self.lane_hint
+    }
+
+    /// Producer side: append `ev` (stamping its `seq` with the write
+    /// index), or count a drop if the ring is full. Must only be called
+    /// from the ring's owning thread.
+    pub fn push(&self, mut ev: TraceEvent) -> bool {
+        let h = self.head.load(Ordering::Relaxed);
+        let t = self.tail.load(Ordering::Acquire);
+        if h.wrapping_sub(t) > self.mask as u64 {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        ev.seq = h as u32;
+        // SAFETY: single producer (caller contract), and the bound check
+        // above guarantees the consumer has released this slot; the record
+        // becomes visible only through the Release store of `head` below.
+        unsafe {
+            *self.slots[(h as usize) & self.mask].get() = ev;
+        }
+        self.head.store(h.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: move every published record into `out`, in write
+    /// order, and advance the read index past them.
+    pub fn drain_into(&self, out: &mut Vec<TraceEvent>) {
+        let t = self.tail.load(Ordering::Relaxed);
+        let h = self.head.load(Ordering::Acquire);
+        let mut i = t;
+        while i != h {
+            // SAFETY: slots in [tail, head) were fully written before the
+            // producer's Release store of `head`, which our Acquire load
+            // synchronises with; the producer will not reuse them until we
+            // publish the new tail below.
+            out.push(unsafe { *self.slots[(i as usize) & self.mask].get() });
+            i = i.wrapping_add(1);
+        }
+        self.tail.store(h, Ordering::Release);
+    }
+
+    /// Records ever accepted (drained or still buffered).
+    pub fn writes(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records rejected because the ring was full (cumulative).
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Published records not yet drained.
+    pub fn len(&self) -> usize {
+        let t = self.tail.load(Ordering::Acquire);
+        let h = self.head.load(Ordering::Acquire);
+        h.wrapping_sub(t) as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(payload: u64) -> TraceEvent {
+        TraceEvent::mode_decision(1, 0, 0, payload)
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(Ring::with_capacity(0, 0).capacity(), 8);
+        assert_eq!(Ring::with_capacity(9, 0).capacity(), 16);
+        assert_eq!(Ring::with_capacity(64, 3).lane_hint(), 3);
+    }
+
+    #[test]
+    fn push_drain_preserves_order_and_seq() {
+        let r = Ring::with_capacity(8, 0);
+        for i in 0..5 {
+            assert!(r.push(ev(i)));
+        }
+        assert_eq!(r.len(), 5);
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        assert_eq!(out.len(), 5);
+        for (i, e) in out.iter().enumerate() {
+            assert_eq!(e.payload, i as u64);
+            assert_eq!(e.seq, i as u32);
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.drops(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_newest() {
+        let r = Ring::with_capacity(8, 0);
+        for i in 0..12 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.drops(), 4);
+        assert_eq!(r.writes(), 8);
+        let mut out = Vec::new();
+        r.drain_into(&mut out);
+        // The *oldest* 8 survive; the newest 4 were dropped.
+        assert_eq!(
+            out.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5, 6, 7]
+        );
+        // After draining there is room again.
+        assert!(r.push(ev(99)));
+        let mut out2 = Vec::new();
+        r.drain_into(&mut out2);
+        assert_eq!(out2[0].payload, 99);
+        assert_eq!(out2[0].seq, 8, "seq continues across wraparound");
+    }
+
+    #[test]
+    fn wraparound_reuses_slots_without_corruption() {
+        let r = Ring::with_capacity(4, 0);
+        let mut drained = Vec::new();
+        for round in 0u64..50 {
+            assert!(r.push(ev(round)));
+            if round % 3 == 0 {
+                r.drain_into(&mut drained);
+            }
+        }
+        r.drain_into(&mut drained);
+        assert_eq!(drained.len(), 50);
+        for (i, e) in drained.iter().enumerate() {
+            assert_eq!(e.payload, i as u64);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Live tracing: run a contended HashMap workload with the event rings
+//! enabled, then drain and inspect the merged stream.
+//!
+//! ```sh
+//! cargo run --release --example trace_live
+//! ```
+//!
+//! This is the observability layer end to end: `ale_trace::configure`
+//! turns the sampling gate on, every lane's critical sections emit
+//! fixed-size records into per-thread rings as the simulated run executes,
+//! and `ale_trace::drain` merges the rings into one stream totally ordered
+//! by `(vtime, lane, seq)`. The tail of the stream is printed as JSONL
+//! (one event per line — pipe it to `jq` for ad-hoc queries) alongside the
+//! Prometheus-style metrics snapshot the same run produced.
+
+use ale_bench::{run_hashmap, HashMapWorkload, Variant};
+use ale_trace::TraceConfig;
+use ale_vtime::Platform;
+
+const TAIL: usize = 24;
+
+fn main() {
+    // Full sampling, and a ring deep enough that this run drops nothing.
+    ale_trace::configure(&TraceConfig::enabled().with_ring_capacity(1 << 16));
+
+    let workload = HashMapWorkload::read_heavy(16 * 1024);
+    let result = run_hashmap(
+        Platform::haswell(),
+        Variant::AdaptiveAll,
+        8,
+        &workload,
+        2_000,
+        750,
+        42,
+    );
+
+    let drained = ale_trace::drain();
+    ale_trace::reset();
+
+    println!(
+        "run: {:.2} Mops/s over {} ops ({} ns virtual makespan)",
+        result.mops, result.total_ops, result.makespan_ns
+    );
+    println!(
+        "trace: {} event(s) merged, {} dropped, stream digest {:016x}\n",
+        drained.events.len(),
+        drained.dropped,
+        drained.digest()
+    );
+
+    let jsonl = drained.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    let skipped = lines.len().saturating_sub(TAIL);
+    if skipped > 0 {
+        println!("… {skipped} earlier event(s) elided …");
+    }
+    for line in lines.iter().skip(skipped) {
+        println!("{line}");
+    }
+
+    if let Some(report) = &result.report {
+        println!("\n--- metrics snapshot (Prometheus text format) ---");
+        print!("{}", report.to_prometheus());
+    }
+}

@@ -383,6 +383,16 @@ fn storm_breaker_recovers_throughput() {
     assert_eq!((off.trips, off.restores), (0, 0), "{off:?}");
 }
 
+/// Tracing is strictly opt-in: the figure-shaped runs in this binary must
+/// neither observe nor flip the global trace gate, and a disabled emit is
+/// inert. (The toggle-heavy cost contract lives in `tests/trace_shape.rs`.)
+#[test]
+fn tracing_defaults_to_off() {
+    assert!(!ale_trace::is_enabled());
+    ale_trace::emit(ale_trace::TraceEvent::lock_poison(0));
+    assert!(!ale_trace::is_enabled());
+}
+
 /// Determinism: the whole stack replays bit-identically for a fixed seed.
 #[test]
 fn end_to_end_determinism() {

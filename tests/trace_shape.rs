@@ -1,0 +1,79 @@
+//! Satellite: the observability layer's cost contract, asserted on a
+//! figure-shaped run.
+//!
+//! Two claims ride on ale-trace being "always-on":
+//!
+//! 1. **Enabled tracing is cheap.** With full sampling, a fig2-style cell
+//!    (read-heavy HashMap, Haswell, 8 threads) must stay within 5 % of the
+//!    untraced throughput — the modelled emit cost is a handful of stores,
+//!    not a lock.
+//! 2. **Disabled tracing is free.** A run executed after tracing was
+//!    enabled and reset must be *bit-identical* (same virtual makespan,
+//!    same op count) to one where tracing never existed: the disabled emit
+//!    path takes no ticks, draws no randomness, allocates nothing.
+//!
+//! Both tests flip process-global trace state, so they serialise on
+//! [`ale_trace::test_serial`].
+
+use ale_bench::{run_hashmap, HashMapWorkload, RunResult, Variant};
+use ale_trace::TraceConfig;
+use ale_vtime::Platform;
+
+/// One fig2-style cell: read-heavy mix, Haswell, 8 threads, static HL.
+fn fig2_cell() -> RunResult {
+    let w = HashMapWorkload::read_heavy(16 * 1024);
+    run_hashmap(
+        Platform::haswell(),
+        Variant::StaticHl(5),
+        8,
+        &w,
+        2_000,
+        750,
+        99,
+    )
+}
+
+#[test]
+fn tracing_overhead_within_five_percent() {
+    let _g = ale_trace::test_serial();
+    ale_trace::reset();
+    let base = fig2_cell();
+
+    ale_trace::configure(&TraceConfig::enabled().with_ring_capacity(1 << 16));
+    let traced = fig2_cell();
+    let drained = ale_trace::drain();
+    ale_trace::reset();
+
+    assert!(
+        !drained.events.is_empty(),
+        "an enabled figure run must record events"
+    );
+    assert_eq!(drained.dropped, 0, "the test ring must be deep enough");
+    assert!(
+        traced.mops > base.mops * 0.95,
+        "full-sampling tracing must cost < 5 % throughput: \
+         {:.3} Mops/s untraced vs {:.3} Mops/s traced",
+        base.mops,
+        traced.mops
+    );
+}
+
+#[test]
+fn disabled_tracing_leaves_runs_bit_identical() {
+    let _g = ale_trace::test_serial();
+    ale_trace::reset();
+    let before = fig2_cell();
+
+    // Enable, run (populating rings and the intern table), then reset.
+    ale_trace::configure(&TraceConfig::enabled());
+    fig2_cell();
+    ale_trace::reset();
+
+    let after = fig2_cell();
+    assert_eq!(
+        (before.makespan_ns, before.total_ops),
+        (after.makespan_ns, after.total_ops),
+        "a disabled-trace run must be bit-identical whether or not tracing \
+         ever ran in this process"
+    );
+}
