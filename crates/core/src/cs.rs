@@ -407,6 +407,12 @@ fn run_protocol<T, O: LockOps + ?Sized>(
             let t0 = measure.then(now);
             let force_bump = ale.config().force_version_bump;
             let attempted = catch_unwind(AssertUnwindSafe(|| {
+                // The frame-recording push can reallocate its thread-local
+                // Vec; in the emulated HTM that is harmless, and on real
+                // hardware the stack is warmed past nesting depth 2 within
+                // the first few sections, so steady-state bodies never grow
+                // it. Accepted, not a hygiene bug.
+                // ale-lint: allow(htm-body-hygiene-transitive)
                 ale_htm::attempt(profile, rng, || {
                     // Self-test mutation (`mut-lazy-subscription`): skipping
                     // the in-transaction lock subscription is the classic

@@ -117,6 +117,8 @@ impl<T: Copy> HtmCell<T> {
     /// Seqlock-consistent read that is never transactional, even inside a
     /// transaction. Used by statistics and debugging paths that must not
     /// grow the read set.
+    // ale-lint: htm-body — callable from inside transactions by design, so
+    // it must stay alloc/IO/park-free transitively.
     pub fn load_consistent(&self) -> T {
         loop {
             let m1 = self.meta.load(Ordering::Acquire);

@@ -100,15 +100,24 @@ pub fn analyze(src: &str) -> FileModel {
                     masked.push('"');
                     i += 1;
                 }
-                'r' if is_raw_string_start(&chars, i) => {
-                    let hashes = count_hashes(&chars, i + 1);
+                'r' | 'b' | 'c' if raw_string_prefix_len(&chars, i).is_some() => {
+                    // `r"…"`, `r#"…"#`, and the byte/C-string forms
+                    // `br#"…"#` / `cr#"…"#`. Without the prefix awareness the
+                    // `b`/`c` lexes into an identifier and the literal is
+                    // processed as an escaped string — a trailing `\` before
+                    // the closing quote then swallows it and leaks the rest
+                    // of the file into string state.
+                    let prefix = raw_string_prefix_len(&chars, i).unwrap();
+                    let hashes = count_hashes(&chars, i + prefix);
                     state = State::RawStr(hashes);
-                    masked.push('r');
+                    for k in 0..prefix {
+                        masked.push(chars[i + k]);
+                    }
                     for _ in 0..hashes {
                         masked.push('#');
                     }
                     masked.push('"');
-                    i += 2 + hashes as usize;
+                    i += prefix + 1 + hashes as usize;
                 }
                 '\'' => {
                     // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
@@ -246,19 +255,27 @@ pub fn analyze(src: &str) -> FileModel {
     }
 }
 
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    // `r"..."` or `r#"..."#`, not the tail of an identifier like `var`.
+/// If a raw-string literal starts at `i`, the length of its letter prefix:
+/// 1 for `r"…"` / `r#"…"#`, 2 for `br#"…"#` / `cr#"…"#`. `None` when `i` is
+/// not a raw-string start (e.g. the tail of an identifier like `var`, or a
+/// raw identifier like `r#match`).
+fn raw_string_prefix_len(chars: &[char], i: usize) -> Option<usize> {
     if i > 0 {
         let prev = chars[i - 1];
         if prev.is_alphanumeric() || prev == '_' {
-            return false;
+            return None;
         }
     }
-    let mut j = i + 1;
+    let prefix = match chars[i] {
+        'r' => 1,
+        'b' | 'c' if chars.get(i + 1) == Some(&'r') => 2,
+        _ => return None,
+    };
+    let mut j = i + prefix;
     while chars.get(j) == Some(&'#') {
         j += 1;
     }
-    chars.get(j) == Some(&'"')
+    (chars.get(j) == Some(&'"')).then_some(prefix)
 }
 
 fn count_hashes(chars: &[char], mut i: usize) -> u32 {
@@ -448,6 +465,61 @@ let lt: &'static str = "x";
         let m = analyze(src);
         assert!(!m.masked[0].contains("unsafe"));
         assert!(m.masked[0].contains("fn y"));
+    }
+
+    #[test]
+    fn byte_raw_strings_do_not_leak_tokens() {
+        // Regression: `br#"…"#` used to lex as ident `br` + a *normal*
+        // string, so the trailing `\` swallowed the closing quote and the
+        // rest of the file leaked into string state (masking real code).
+        let src = r###"let p = br#"path\"#; let q = cr#"also \"#; fn live() { unsafe { g() } }"###;
+        let m = analyze(src);
+        assert!(m.masked[0].contains("fn live"), "masked: {:?}", m.masked[0]);
+        assert!(m.masked[0].contains("unsafe"), "masked: {:?}", m.masked[0]);
+        assert!(!m.masked[0].contains("path"));
+        assert!(!m.masked[0].contains("also"));
+    }
+
+    #[test]
+    fn raw_string_inner_hash_quote_does_not_close_early() {
+        // `"#` inside an `r##"…"##` body is not a terminator; leaking out of
+        // string state here would surface the body as code tokens.
+        let src = r####"let x = r##"inner "# still string"##; fn live() {}"####;
+        let m = analyze(src);
+        assert!(!m.masked[0].contains("still"));
+        assert!(m.masked[0].contains("fn live"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let src = r##"let r#match = 1; let b = r#match; fn live() {}"##;
+        let m = analyze(src);
+        assert!(m.masked[0].contains("fn live"));
+        assert!(m.masked[0].contains("match"), "raw ident stays code");
+    }
+
+    #[test]
+    fn tricky_nested_block_comments_do_not_leak() {
+        // `/*/` opens without closing; `/**/` nests and immediately closes;
+        // each `*/` must pop exactly one level.
+        let src = "/* a /**/ b /* c /* d */ e */ f */ fn live() {} /* tail";
+        let m = analyze(src);
+        assert!(m.masked[0].contains("fn live"), "masked: {:?}", m.masked[0]);
+        for leak in ["a", "b", "c", "d", "e", "f", "tail"] {
+            assert!(
+                !tokens(&m).iter().any(|t| t.is_ident(leak)),
+                "comment text `{leak}` leaked into tokens"
+            );
+        }
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_structure() {
+        let src = "let x = r#\"line one\nunsafe two\n\"#;\nfn live() {}\n";
+        let m = analyze(src);
+        assert_eq!(m.raw.len(), m.masked.len());
+        assert!(!m.masked.join("\n").contains("unsafe"));
+        assert!(m.masked[3].contains("fn live"));
     }
 
     #[test]

@@ -2,13 +2,20 @@
 //! elision-safety rules this codebase depends on but `rustc` cannot see.
 //!
 //! The checker is a small hand-rolled lexer (no external dependencies,
-//! works fully offline) plus five syntactic rules; see [`rules`] for the
-//! rule table. Run it with:
+//! works fully offline), five line-local syntactic rules, and — since v2 —
+//! an interprocedural layer: a lightweight item [`parser`], a workspace
+//! [`callgraph`], per-function [`effects`] propagated to a fixed point, and
+//! four whole-program rules (transitive SWOpt purity, transitive HTM
+//! hygiene, lock-order cycles, HTM footprint). See [`rules`] for the rule
+//! table and DESIGN.md §7 for the analysis model. Run it with:
 //!
 //! ```text
-//! cargo run -p ale-lint              # report findings
-//! cargo run -p ale-lint -- --deny    # exit nonzero on any finding
-//! cargo run -p ale-lint -- --json    # machine-readable output
+//! cargo run -p ale-lint                        # report findings
+//! cargo run -p ale-lint -- --deny              # exit nonzero on any finding
+//! cargo run -p ale-lint -- --json              # machine-readable output
+//! cargo run -p ale-lint -- --effects           # per-function effect dump
+//! cargo run -p ale-lint -- --callgraph-dot g.dot   # Graphviz export
+//! cargo run -p ale-lint -- --capacity 2048,32  # htm-footprint limits
 //! ```
 //!
 //! ## Suppression
@@ -26,14 +33,17 @@
 //! line number, so the baseline survives unrelated edits. `#`-prefixed
 //! lines and blank lines are ignored.
 
+pub mod callgraph;
+pub mod effects;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-pub use rules::RULE_IDS;
+pub use rules::{Capacity, RULE_IDS};
 
 /// One rule violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +77,176 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One lexed/parsed file inside an [`Analysis`].
+pub struct AnalyzedFile {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    pub model: lexer::FileModel,
+    /// True for files under a crate's `src/` (as opposed to `tests/`).
+    pub is_src: bool,
+    toks: Vec<lexer::Tok>,
+    fns: Vec<lexer::FnExtent>,
+    test_ranges: Vec<(usize, usize)>,
+}
+
+/// A whole-workspace (or single-file) analysis: per-file lex/parse results
+/// plus the assembled call graph and its transitive effects. Build once,
+/// then ask for [`Analysis::findings`], [`Analysis::effects_dump`], or
+/// [`Analysis::callgraph_dot`].
+pub struct Analysis {
+    pub files: Vec<AnalyzedFile>,
+    pub program: callgraph::Program,
+    /// Transitive effects, indexed like `program.nodes`.
+    pub effects: Vec<effects::Effects>,
+}
+
+/// The two files whose SWOpt read paths are auto-detected by name (the
+/// paper's Figure-1 modules); everywhere else requires the explicit marker
+/// comment. Kept in sync with `rules::swopt_fns`.
+fn swopt_auto_file(path: &str) -> bool {
+    path.ends_with("hashmap/src/map.rs") || path.ends_with("kyoto/src/ale_db.rs")
+}
+
+impl Analysis {
+    /// Analyze a set of `(rel_path, source, is_src)` triples.
+    #[must_use]
+    pub fn of_sources(sources: Vec<(String, String, bool)>) -> Analysis {
+        let mut files = Vec::with_capacity(sources.len());
+        let mut parsed = Vec::with_capacity(sources.len());
+        for (path, src, is_src) in sources {
+            let model = lexer::analyze(&src);
+            let toks = lexer::tokens(&model);
+            let fns = lexer::functions(&toks);
+            let test_ranges = lexer::cfg_test_ranges(&toks);
+            parsed.push((
+                path.clone(),
+                parser::parse_file(&model, &toks, &fns, &test_ranges, swopt_auto_file(&path)),
+            ));
+            files.push(AnalyzedFile {
+                path,
+                model,
+                is_src,
+                toks,
+                fns,
+                test_ranges,
+            });
+        }
+        let program = callgraph::Program::build(&parsed);
+        let effects = effects::propagate(&program);
+        Analysis {
+            files,
+            program,
+            effects,
+        }
+    }
+
+    /// Run every rule (line-local per file, then whole-program), drop
+    /// suppressed findings, and sort deterministically by
+    /// `(path, line, rule)`.
+    #[must_use]
+    pub fn findings(&self, capacity: Capacity) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &self.files {
+            if f.model.raw.is_empty() {
+                continue;
+            }
+            let ctx = rules::FileCtx {
+                path: &f.path,
+                model: &f.model,
+                toks: &f.toks,
+                fns: &f.fns,
+                test_ranges: &f.test_ranges,
+                is_src: f.is_src,
+            };
+            out.extend(rules::check_all(&ctx));
+        }
+
+        let src_files: HashSet<String> = self
+            .files
+            .iter()
+            .filter(|f| f.is_src)
+            .map(|f| f.path.clone())
+            .collect();
+        let pctx = rules::ProgramCtx {
+            program: &self.program,
+            effects: &self.effects,
+            src_files: &src_files,
+            capacity,
+        };
+        let models: HashMap<&str, &lexer::FileModel> = self
+            .files
+            .iter()
+            .map(|f| (f.path.as_str(), &f.model))
+            .collect();
+        for mut finding in rules::check_program(&pctx) {
+            // Program findings come back without line content; fill it in
+            // so baseline matching and suppression work uniformly.
+            if let Some(model) = models.get(finding.file.as_str()) {
+                finding.line_content = model
+                    .raw
+                    .get(finding.line - 1)
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default();
+            }
+            out.push(finding);
+        }
+
+        let mut out: Vec<Finding> = out
+            .into_iter()
+            .filter(|f| {
+                !models
+                    .get(f.file.as_str())
+                    .is_some_and(|model| is_suppressed(model, f))
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        out.dedup();
+        out
+    }
+
+    /// Per-node transitive effect dump (`--effects`), sorted by
+    /// `(file, line)`.
+    #[must_use]
+    pub fn effects_dump(&self) -> String {
+        let mut lines: Vec<(String, usize, String)> = self
+            .program
+            .nodes
+            .iter()
+            .zip(&self.effects)
+            .map(|(n, e)| {
+                (
+                    n.file.clone(),
+                    n.line,
+                    format!(
+                        "{}:{} {} — {}",
+                        n.file,
+                        n.line + 1,
+                        n.qual,
+                        effects::describe(e)
+                    ),
+                )
+            })
+            .collect();
+        lines.sort();
+        lines
+            .into_iter()
+            .map(|(_, _, l)| l)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Graphviz export of the resolved call graph (`--callgraph-dot`).
+    #[must_use]
+    pub fn callgraph_dot(&self) -> String {
+        self.program.to_dot()
+    }
+}
+
 /// Lint one file's source. `rel_path` should be workspace-relative with
 /// forward slashes — several rules key off it (src-vs-test scoping, the
-/// `counters.rs` allowlist, SWOpt auto-detection).
+/// `counters.rs` allowlist, SWOpt auto-detection). The whole-program rules
+/// run over the single-file program, so intra-file call chains are checked
+/// too.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     let is_src = rel_path.contains("/src/") || rel_path.starts_with("src/");
     lint_source_as(rel_path, src, is_src)
@@ -80,26 +257,8 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
 /// src-only rules apply to spot-checked files (and to the bad-fixture
 /// corpus) regardless of where they live.
 pub fn lint_source_as(rel_path: &str, src: &str, is_src: bool) -> Vec<Finding> {
-    let model = lexer::analyze(src);
-    if model.raw.is_empty() {
-        return Vec::new();
-    }
-    let toks = lexer::tokens(&model);
-    let fns = lexer::functions(&toks);
-    let test_ranges = lexer::cfg_test_ranges(&toks);
-    let ctx = rules::FileCtx {
-        path: rel_path,
-        model: &model,
-        toks: &toks,
-        fns: &fns,
-        test_ranges: &test_ranges,
-        is_src,
-    };
-    let findings = rules::check_all(&ctx);
-    findings
-        .into_iter()
-        .filter(|f| !is_suppressed(&model, f))
-        .collect()
+    Analysis::of_sources(vec![(rel_path.to_string(), src.to_string(), is_src)])
+        .findings(Capacity::DEFAULT)
 }
 
 /// `// ale-lint: allow(<rule>)` on the finding's line, or on a
@@ -165,29 +324,31 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Lint an explicit list of files, reporting paths relative to `root`.
-/// `force_src` applies every rule (including the src-only ones) to every
-/// file, regardless of its path.
+/// Build an [`Analysis`] over an explicit list of files, reporting paths
+/// relative to `root`. `force_src` applies every rule (including the
+/// src-only ones) to every file, regardless of its path.
+pub fn analyze_files(root: &Path, files: &[PathBuf], force_src: bool) -> std::io::Result<Analysis> {
+    let mut sources = Vec::with_capacity(files.len());
+    for path in files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let is_src = force_src || rel.contains("/src/") || rel.starts_with("src/");
+        sources.push((rel, src, is_src));
+    }
+    Ok(Analysis::of_sources(sources))
+}
+
+/// Lint an explicit list of files with the default backend capacity.
 pub fn lint_files(
     root: &Path,
     files: &[PathBuf],
     force_src: bool,
 ) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for path in files {
-        let src = std::fs::read_to_string(path)?;
-        let rel = rel_path(root, path);
-        if force_src {
-            findings.extend(lint_source_as(&rel, &src, true));
-        } else {
-            findings.extend(lint_source(&rel, &src));
-        }
-    }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(findings)
+    Ok(analyze_files(root, files, force_src)?.findings(Capacity::DEFAULT))
 }
 
-/// Lint the whole default surface under `root`.
+/// Lint the whole default surface under `root`, as one whole-program
+/// analysis (cross-crate call chains resolve).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     lint_files(root, &workspace_files(root), false)
 }
@@ -221,6 +382,22 @@ pub fn apply_baseline(findings: Vec<Finding>, baseline: &HashSet<String>) -> Vec
 
 /// Render findings as a JSON document (hand-rolled; no serde available
 /// offline).
+///
+/// Schema (stable; consumed by CI tooling):
+///
+/// ```json
+/// {
+///   "count": <number of findings>,
+///   "findings": [
+///     {"rule": "<rule id>", "file": "<workspace-relative path>",
+///      "line": <1-based line>, "message": "<human-readable message>"}
+///   ]
+/// }
+/// ```
+///
+/// `findings` preserves the caller's order; every producer in this crate
+/// sorts by `(file, line, rule)` first, so JSON output is deterministic
+/// across runs and platforms.
 #[must_use]
 pub fn to_json(findings: &[Finding]) -> String {
     fn esc(s: &str) -> String {

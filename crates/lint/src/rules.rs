@@ -1,4 +1,4 @@
-//! The five elision-safety rules.
+//! The elision-safety rules: five line-local, four whole-program.
 //!
 //! | rule id | invariant |
 //! |---------|-----------|
@@ -7,8 +7,21 @@
 //! | `swopt-purity` | SWOpt (optimistic) read paths perform no writes — `store(` / `fetch_*` / `get_mut` / `lock()` — outside a conflicting-region bracket |
 //! | `htm-body-hygiene` | code passed to the HTM engine avoids `Box::new`, `Vec::push`, `println!`, `panic!`, `.unwrap()`, `.expect()` (allocation / IO / unwinding abort transactions or leak); `trace::emit(..)` spans are exempt (HTM-safe by construction) |
 //! | `ordering-discipline` | `Ordering::Relaxed` is forbidden on stores to lock words and version/publication fields |
+//! | `swopt-purity-transitive` | a SWOpt path must not *reach* a write/alloc/lock effect through any call chain (calls made inside a conflicting-region bracket are exempt) |
+//! | `htm-body-hygiene-transitive` | a transaction body must not *reach* an alloc/IO/park effect through any call chain (`trace::emit(..)` stays exempt) |
+//! | `lock-order-cycle` | the static lock-acquisition graph (lock A held while B is acquired, directly or through calls) must be acyclic |
+//! | `htm-footprint` | a transaction body's estimated transitive read/write footprint must fit the configured backend capacity |
+//!
+//! The whole-program rules run over the [`crate::callgraph::Program`] with
+//! transitive [`crate::effects`]; see DESIGN.md §7 for the effect lattice
+//! and the footprint estimation model.
 
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use crate::callgraph::{NodeId, Program};
+use crate::effects::Effects;
 use crate::lexer::{match_delim, FileModel, FnExtent, Tok, TokKind};
+use crate::parser::{flag, OpKind};
 use crate::Finding;
 
 /// Everything a rule needs to know about one file.
@@ -56,12 +69,16 @@ impl FileCtx<'_> {
 }
 
 /// All rule IDs, in reporting order.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 9] = [
     "safety-comment",
     "conflicting-region-balance",
     "swopt-purity",
     "htm-body-hygiene",
     "ordering-discipline",
+    "swopt-purity-transitive",
+    "htm-body-hygiene-transitive",
+    "lock-order-cycle",
+    "htm-footprint",
 ];
 
 pub fn check_all(ctx: &FileCtx) -> Vec<Finding> {
@@ -360,6 +377,404 @@ fn ordering_discipline(ctx: &FileCtx) -> Vec<Finding> {
                      lock words and version fields must publish with Release (or stronger)"
                 ),
             ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program rules
+// ---------------------------------------------------------------------------
+
+/// Emulated-HTM backend capacity, in estimated distinct cells, used by the
+/// `htm-footprint` rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capacity {
+    pub reads: u64,
+    pub writes: u64,
+}
+
+impl Capacity {
+    /// Mirrors `Platform::haswell()` in `crates/vtime/src/platform.rs`
+    /// (best-effort limits: 4096 read cells, 448 write cells) — the default
+    /// emulated backend. Override with `--capacity <r,w>`; a root
+    /// cross-check test keeps these numbers in sync with `ale-vtime`.
+    pub const DEFAULT: Capacity = Capacity {
+        reads: 4096,
+        writes: 448,
+    };
+}
+
+/// Everything the whole-program rules need.
+pub struct ProgramCtx<'a> {
+    pub program: &'a Program,
+    /// Transitive effects per node, from [`crate::effects::propagate`].
+    pub effects: &'a [Effects],
+    /// Files under a crate's `src/` — program rules only root there
+    /// (reaching *into* test helpers still counts).
+    pub src_files: &'a HashSet<String>,
+    pub capacity: Capacity,
+}
+
+/// Run the four whole-program rules. The returned findings have empty
+/// `line_content` — the caller fills it from its file models (the rules
+/// here only see the parsed program).
+pub fn check_program(ctx: &ProgramCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    out.extend(swopt_purity_transitive(ctx));
+    out.extend(htm_body_hygiene_transitive(ctx));
+    out.extend(lock_order_cycle(ctx));
+    out.extend(htm_footprint(ctx));
+    out
+}
+
+fn program_finding(rule: &'static str, file: &str, line0: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.to_string(),
+        line: line0 + 1,
+        message,
+        line_content: String::new(),
+    }
+}
+
+/// Breadth-first reachability over call edges from `root`. With
+/// `naked_calls_only`, calls made inside a conflicting-region bracket are
+/// not followed (the SWOpt exemption). Returns the visit order (root
+/// excluded) and a parent map for witness-chain reconstruction.
+fn reach(
+    p: &Program,
+    root: NodeId,
+    naked_calls_only: bool,
+) -> (Vec<NodeId>, HashMap<NodeId, NodeId>) {
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut order = Vec::new();
+    let mut seen: HashSet<NodeId> = HashSet::from([root]);
+    let mut q = VecDeque::from([root]);
+    while let Some(id) = q.pop_front() {
+        for e in &p.edges[id] {
+            if naked_calls_only && p.nodes[id].ops[e.op_idx].cr_depth > 0 {
+                continue;
+            }
+            if seen.insert(e.callee) {
+                parent.insert(e.callee, id);
+                order.push(e.callee);
+                q.push_back(e.callee);
+            }
+        }
+    }
+    (order, parent)
+}
+
+/// `root → a → b` witness chain for a reached node.
+fn chain(p: &Program, parent: &HashMap<NodeId, NodeId>, root: NodeId, node: NodeId) -> String {
+    let mut names = vec![p.nodes[node].qual.clone()];
+    let mut cur = node;
+    while cur != root {
+        cur = parent[&cur];
+        names.push(p.nodes[cur].qual.clone());
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+/// `swopt-purity-transitive`: a SWOpt root may not reach a write, lock
+/// acquisition, or allocation through any call chain made outside a
+/// conflicting-region bracket. Direct (chain-length-0) violations are the
+/// line-local `swopt-purity` rule's job; this rule checks callees.
+fn swopt_purity_transitive(ctx: &ProgramCtx) -> Vec<Finding> {
+    let p = ctx.program;
+    let mut out = Vec::new();
+    for (root, n) in p.nodes.iter().enumerate() {
+        if !n.swopt || !ctx.src_files.contains(&n.file) {
+            continue;
+        }
+        let (order, parent) = reach(p, root, true);
+        for id in order {
+            let m = &p.nodes[id];
+            let bad = m.ops.iter().find_map(|op| {
+                if op.cr_depth > 0 {
+                    return None;
+                }
+                match &op.kind {
+                    OpKind::Write {
+                        key,
+                        purity_relevant: true,
+                    } => Some((format!("write to `{key}`"), op.line)),
+                    OpKind::Acquire { lock } => {
+                        Some((format!("lock acquisition on `{lock}`"), op.line))
+                    }
+                    OpKind::Flag { bits, what } if bits & flag::ALLOC != 0 => {
+                        Some((format!("allocation (`{what}`)"), op.line))
+                    }
+                    _ => None,
+                }
+            });
+            if let Some((what, line)) = bad {
+                out.push(program_finding(
+                    "swopt-purity-transitive",
+                    &n.file,
+                    n.line,
+                    format!(
+                        "SWOpt path `{}` reaches a {what} at {}:{} via {}",
+                        n.qual,
+                        m.file,
+                        line + 1,
+                        chain(p, &parent, root, id)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Roots for the transitive HTM rules: `attempt(..)` extents plus
+/// `htm-body`-marked functions, in src files.
+fn htm_roots(ctx: &ProgramCtx) -> Vec<NodeId> {
+    ctx.program
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.htm_body && ctx.src_files.contains(&n.file))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// `htm-body-hygiene-transitive`: a transaction body may not reach an
+/// allocation, IO, or thread-parking effect through any call chain. Direct
+/// body tokens are the line-local `htm-body-hygiene` rule's job.
+fn htm_body_hygiene_transitive(ctx: &ProgramCtx) -> Vec<Finding> {
+    let p = ctx.program;
+    let mut out = Vec::new();
+    for root in htm_roots(ctx) {
+        let n = &p.nodes[root];
+        let (order, parent) = reach(p, root, false);
+        for id in order {
+            let m = &p.nodes[id];
+            let bad = m.ops.iter().find_map(|op| match &op.kind {
+                OpKind::Flag { bits, what }
+                    if bits & (flag::ALLOC | flag::IO | flag::PARK) != 0 =>
+                {
+                    let kind = if bits & flag::ALLOC != 0 {
+                        "allocation"
+                    } else if bits & flag::IO != 0 {
+                        "IO"
+                    } else {
+                        "thread-parking"
+                    };
+                    Some((format!("{kind} (`{what}`)"), op.line))
+                }
+                _ => None,
+            });
+            if let Some((what, line)) = bad {
+                out.push(program_finding(
+                    "htm-body-hygiene-transitive",
+                    &n.file,
+                    n.line,
+                    format!(
+                        "HTM-executed code `{}` reaches {what} at {}:{} via {}: \
+                         aborts hardware transactions or leaks on abort",
+                        n.qual,
+                        m.file,
+                        line + 1,
+                        chain(p, &parent, root, id)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Where a lock-order edge was observed.
+struct EdgeSite {
+    file: String,
+    line: usize,
+    holder: String,
+    /// Set when the inner acquisition happens transitively inside a callee.
+    via: Option<String>,
+}
+
+/// `lock-order-cycle`: build the static "lock A held while B is acquired"
+/// graph (direct acquisitions plus transitive lock effects at call sites)
+/// and report every cycle with its exact acquisition path. Guards are
+/// conservatively assumed held to the end of the function unless an
+/// explicit release appears; self-edges (`A` re-acquired under `A`) are
+/// skipped — distinct instances sharing a receiver name would drown the
+/// signal (documented imprecision).
+fn lock_order_cycle(ctx: &ProgramCtx) -> Vec<Finding> {
+    let p = ctx.program;
+    let mut graph: BTreeMap<String, BTreeMap<String, EdgeSite>> = BTreeMap::new();
+    for (id, n) in p.nodes.iter().enumerate() {
+        if !ctx.src_files.contains(&n.file) {
+            continue;
+        }
+        let mut held: Vec<String> = Vec::new();
+        for (op_idx, op) in n.ops.iter().enumerate() {
+            match &op.kind {
+                OpKind::Acquire { lock } => {
+                    for h in &held {
+                        if h != lock {
+                            graph
+                                .entry(h.clone())
+                                .or_default()
+                                .entry(lock.clone())
+                                .or_insert(EdgeSite {
+                                    file: n.file.clone(),
+                                    line: op.line,
+                                    holder: n.qual.clone(),
+                                    via: None,
+                                });
+                        }
+                    }
+                    if !held.contains(lock) {
+                        held.push(lock.clone());
+                    }
+                }
+                OpKind::Release { lock } => held.retain(|h| h != lock),
+                OpKind::Call { .. } if !held.is_empty() => {
+                    for e in p.edges[id].iter().filter(|e| e.op_idx == op_idx) {
+                        for l in &ctx.effects[e.callee].locks {
+                            for h in &held {
+                                if h != l {
+                                    graph
+                                        .entry(h.clone())
+                                        .or_default()
+                                        .entry(l.clone())
+                                        .or_insert(EdgeSite {
+                                            file: n.file.clone(),
+                                            line: op.line,
+                                            holder: n.qual.clone(),
+                                            via: Some(p.nodes[e.callee].qual.clone()),
+                                        });
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for cycle in find_cycles(&graph) {
+        let k = cycle.len();
+        let path: Vec<String> = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|l| format!("`{l}`"))
+            .collect();
+        let legs: Vec<String> = (0..k)
+            .map(|i| {
+                let site = &graph[&cycle[i]][&cycle[(i + 1) % k]];
+                let via = site
+                    .via
+                    .as_ref()
+                    .map_or_else(String::new, |v| format!(", via `{v}`"));
+                format!(
+                    "`{}` → `{}` at {}:{} (in `{}`{via})",
+                    cycle[i],
+                    cycle[(i + 1) % k],
+                    site.file,
+                    site.line + 1,
+                    site.holder
+                )
+            })
+            .collect();
+        let first = &graph[&cycle[0]][&cycle[1 % k]];
+        out.push(program_finding(
+            "lock-order-cycle",
+            &first.file,
+            first.line,
+            format!(
+                "potential deadlock: lock-order cycle {}; {}",
+                path.join(" → "),
+                legs.join("; ")
+            ),
+        ));
+    }
+    out
+}
+
+/// Elementary cycles of the lock graph, canonicalised (lexicographically
+/// smallest lock first) and deduplicated. DFS with gray-path extraction:
+/// finds at least one cycle through every cyclic region, deterministically.
+fn find_cycles(graph: &BTreeMap<String, BTreeMap<String, EdgeSite>>) -> Vec<Vec<String>> {
+    fn visit<'a>(
+        u: &'a str,
+        graph: &'a BTreeMap<String, BTreeMap<String, EdgeSite>>,
+        color: &mut HashMap<&'a str, u8>,
+        stack: &mut Vec<&'a str>,
+        cycles: &mut std::collections::BTreeSet<Vec<String>>,
+    ) {
+        color.insert(u, 1);
+        stack.push(u);
+        if let Some(succ) = graph.get(u) {
+            for v in succ.keys() {
+                match color.get(v.as_str()).copied().unwrap_or(0) {
+                    0 => visit(v, graph, color, stack, cycles),
+                    1 => {
+                        let pos = stack.iter().position(|&s| s == v.as_str()).unwrap();
+                        let cyc = &stack[pos..];
+                        // Rotate so the smallest lock name leads.
+                        let min = cyc
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, s)| *s)
+                            .map_or(0, |(i, _)| i);
+                        cycles.insert(
+                            (0..cyc.len())
+                                .map(|i| cyc[(min + i) % cyc.len()].to_string())
+                                .collect(),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        stack.pop();
+        color.insert(u, 2);
+    }
+
+    let mut color: HashMap<&str, u8> = HashMap::new();
+    let mut stack = Vec::new();
+    let mut cycles = std::collections::BTreeSet::new();
+    for u in graph.keys() {
+        if color.get(u.as_str()).copied().unwrap_or(0) == 0 {
+            visit(u, graph, &mut color, &mut stack, &mut cycles);
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+/// `htm-footprint`: a transaction body's transitive footprint estimate must
+/// fit the backend's best-effort capacity; oversized transactions can never
+/// commit on hardware and burn their retry budget before falling back.
+fn htm_footprint(ctx: &ProgramCtx) -> Vec<Finding> {
+    let p = ctx.program;
+    let mut out = Vec::new();
+    for root in htm_roots(ctx) {
+        let n = &p.nodes[root];
+        let e = &ctx.effects[root];
+        for (cells, cap, kind) in [
+            (e.read_cells(), ctx.capacity.reads, "read"),
+            (e.write_cells(), ctx.capacity.writes, "write"),
+        ] {
+            if cells > cap {
+                out.push(program_finding(
+                    "htm-footprint",
+                    &n.file,
+                    n.line,
+                    format!(
+                        "HTM-executed code `{}` has an estimated transitive {kind} footprint \
+                         of ~{cells} distinct cells, exceeding the backend best-effort {kind} \
+                         capacity of {cap} (override with --capacity <r,w>)",
+                        n.qual
+                    ),
+                ));
+            }
         }
     }
     out

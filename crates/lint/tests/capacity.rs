@@ -1,0 +1,30 @@
+//! Cross-checks the `htm-footprint` capacity model against the platform
+//! profiles the emulation actually enforces (`ale-vtime`). If a profile's
+//! best-effort limits drift, these tests fail and the lint defaults (plus
+//! the documented `--capacity` presets) must be updated alongside.
+
+use ale_lint::Capacity;
+use ale_vtime::Platform;
+
+#[test]
+fn default_capacity_matches_the_haswell_profile() {
+    let htm = Platform::haswell().htm.expect("haswell advertises HTM");
+    assert_eq!(
+        Capacity::DEFAULT.reads,
+        htm.max_read_set as u64,
+        "Capacity::DEFAULT.reads out of sync with Platform::haswell()"
+    );
+    assert_eq!(
+        Capacity::DEFAULT.writes,
+        htm.max_write_set as u64,
+        "Capacity::DEFAULT.writes out of sync with Platform::haswell()"
+    );
+}
+
+#[test]
+fn documented_rock_preset_matches_the_rock_profile() {
+    // CI and the README use `--capacity 2048,32` as the Rock preset.
+    let htm = Platform::rock().htm.expect("rock advertises HTM");
+    assert_eq!(htm.max_read_set, 2048, "rock read-set limit drifted");
+    assert_eq!(htm.max_write_set, 32, "rock write-set limit drifted");
+}

@@ -1,0 +1,54 @@
+//! Bad fixture: a transaction body whose estimated footprint exceeds the
+//! backend's best-effort capacity. Eight distinct cells written inside a
+//! loop estimate to 8 × 64 = 512 write cells (> 448, the default haswell
+//! write limit; > 32, the rock limit); 33 distinct cells read in the loop
+//! estimate to 33 × 64 = 2112 read cells (> 2048, the rock read limit,
+//! while still under the 4096 haswell one).
+
+fn bulk_update(db: &Db, profile: &Profile, rng: &mut Rng) {
+    attempt(profile, rng, || {
+        for i in 0..db.n {
+            db.w1.set(i);
+            db.w2.set(i);
+            db.w3.set(i);
+            db.w4.set(i);
+            db.w5.set(i);
+            db.w6.set(i);
+            db.w7.set(i);
+            db.w8.set(i);
+            db.r01.get();
+            db.r02.get();
+            db.r03.get();
+            db.r04.get();
+            db.r05.get();
+            db.r06.get();
+            db.r07.get();
+            db.r08.get();
+            db.r09.get();
+            db.r10.get();
+            db.r11.get();
+            db.r12.get();
+            db.r13.get();
+            db.r14.get();
+            db.r15.get();
+            db.r16.get();
+            db.r17.get();
+            db.r18.get();
+            db.r19.get();
+            db.r20.get();
+            db.r21.get();
+            db.r22.get();
+            db.r23.get();
+            db.r24.get();
+            db.r25.get();
+            db.r26.get();
+            db.r27.get();
+            db.r28.get();
+            db.r29.get();
+            db.r30.get();
+            db.r31.get();
+            db.r32.get();
+            db.r33.get();
+        }
+    });
+}

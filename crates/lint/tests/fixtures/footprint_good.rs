@@ -1,0 +1,14 @@
+//! Good fixture: a transaction body whose estimated footprint fits the
+//! default backend capacity — a few direct accesses plus one looped read
+//! (1 × 64), well under 4096 reads / 448 writes.
+
+fn small_update(db: &Db, profile: &Profile, rng: &mut Rng) {
+    attempt(profile, rng, || {
+        let a = db.head.get();
+        let b = db.tail.get();
+        for i in 0..a {
+            db.ring.get();
+        }
+        db.head.set(b);
+    });
+}

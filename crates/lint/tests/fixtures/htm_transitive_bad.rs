@@ -1,0 +1,27 @@
+//! Bad fixture: transaction bodies reaching allocation / IO / parking
+//! through call chains the line-local `htm-body-hygiene` rule cannot see.
+
+fn run(db: &Db, profile: &Profile, rng: &mut Rng) {
+    attempt(profile, rng, || {
+        db.cell.get();
+        log_it(db);
+    });
+}
+
+fn log_it(db: &Db) {
+    format_row(db);
+}
+
+fn format_row(db: &Db) {
+    println!("row {}", db.cell.get());
+}
+
+// ale-lint: htm-body
+fn hot_path(db: &Db) {
+    db.cell.get();
+    helper_sleep();
+}
+
+fn helper_sleep() {
+    thread::sleep(BACKOFF);
+}

@@ -1,0 +1,17 @@
+//! Good fixture: transaction bodies whose call chains only read, and emit
+//! trace events (exempt by construction).
+
+fn run(db: &Db, profile: &Profile, rng: &mut Rng) {
+    attempt(profile, rng, || {
+        read_helper(db);
+    });
+}
+
+fn read_helper(db: &Db) -> u64 {
+    trace::emit(TraceEvent::probe(db.seq));
+    deeper_read(db)
+}
+
+fn deeper_read(db: &Db) -> u64 {
+    db.cell.get()
+}

@@ -1,0 +1,22 @@
+//! Bad fixture: inconsistent lock-acquisition order, with one leg of the
+//! cycle hidden behind a call.
+
+impl Db {
+    fn put(&self) {
+        self.mlock.acquire();
+        self.slot.acquire();
+        self.slot.release();
+        self.mlock.release();
+    }
+
+    fn rebalance(&self) {
+        self.slot.acquire();
+        grab_meta(self);
+        self.slot.release();
+    }
+}
+
+fn grab_meta(db: &Db) {
+    db.mlock.acquire();
+    db.mlock.release();
+}

@@ -1,0 +1,25 @@
+//! Good fixture: every path acquires `mlock` before `slot`, directly or
+//! through calls, and release tracking keeps disjoint critical sections
+//! from fabricating edges.
+
+impl Db {
+    fn put(&self) {
+        self.mlock.acquire();
+        self.slot.acquire();
+        self.slot.release();
+        self.mlock.release();
+    }
+
+    fn scan(&self) {
+        self.mlock.acquire();
+        grab_slot(self);
+        self.mlock.release();
+        self.slot.acquire();
+        self.slot.release();
+    }
+}
+
+fn grab_slot(db: &Db) {
+    db.slot.acquire();
+    db.slot.release();
+}

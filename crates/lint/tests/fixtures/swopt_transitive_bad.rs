@@ -1,0 +1,42 @@
+//! Bad fixture: SWOpt read paths that *reach* impure effects through call
+//! chains. The line-local `swopt-purity` rule cannot see any of these —
+//! every root body is textually pure.
+
+// ale-lint: swopt
+fn lookup(db: &Db) -> u64 {
+    let snap = db.ver.read();
+    let v = helper_level_one(db);
+    db.ver.validate(snap);
+    v
+}
+
+fn helper_level_one(db: &Db) -> u64 {
+    helper_level_two(db)
+}
+
+fn helper_level_two(db: &Db) -> u64 {
+    db.stats.set(1);
+    0
+}
+
+// ale-lint: swopt
+fn lookup_locked(db: &Db) -> u64 {
+    slow_path(db)
+}
+
+fn slow_path(db: &Db) -> u64 {
+    db.mlock.acquire();
+    let v = db.cell.get();
+    db.mlock.release();
+    v
+}
+
+// ale-lint: swopt
+fn lookup_alloc(db: &Db) -> u64 {
+    sneaky_alloc(db)
+}
+
+fn sneaky_alloc(db: &Db) -> u64 {
+    let copy = vec![db.cell.get()];
+    copy[0]
+}

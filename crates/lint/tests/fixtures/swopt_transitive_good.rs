@@ -1,0 +1,26 @@
+//! Good fixture: SWOpt read paths whose call chains stay pure, including a
+//! writer helper that is only ever called inside a conflicting-region
+//! bracket (the explicit exemption).
+
+// ale-lint: swopt
+fn lookup(db: &Db) -> u64 {
+    let snap = db.ver.read();
+    let v = pure_helper(db);
+    db.ver.begin_conflicting_action();
+    writer_helper(db);
+    db.ver.end_conflicting_action();
+    db.ver.validate(snap);
+    v
+}
+
+fn pure_helper(db: &Db) -> u64 {
+    deeper_pure_helper(db)
+}
+
+fn deeper_pure_helper(db: &Db) -> u64 {
+    db.cell.get()
+}
+
+fn writer_helper(db: &Db) {
+    db.cell.set(1);
+}

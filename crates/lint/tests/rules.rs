@@ -134,6 +134,125 @@ fn counters_file_is_exempt_from_ordering_rule() {
 }
 
 #[test]
+fn swopt_transitive_good_is_clean() {
+    assert_clean("swopt_transitive_good.rs", "swopt-purity-transitive");
+}
+
+#[test]
+fn swopt_transitive_bad_flags_write_lock_and_alloc_chains() {
+    let findings = lint_fixture("swopt_transitive_bad.rs", "swopt-purity-transitive");
+    assert_eq!(findings.len(), 3, "{findings:#?}");
+    let by_msg = |needle: &str| {
+        findings
+            .iter()
+            .find(|f| f.message.contains(needle))
+            .unwrap_or_else(|| panic!("no finding containing {needle:?}: {findings:#?}"))
+    };
+    let write = by_msg("write to `stats`");
+    assert!(
+        write
+            .message
+            .contains("via lookup → helper_level_one → helper_level_two"),
+        "{}",
+        write.message
+    );
+    assert!(write.line_content.contains("fn lookup"), "{write:#?}");
+    let lock = by_msg("lock acquisition on `mlock`");
+    assert!(lock.message.contains("via lookup_locked → slow_path"));
+    let alloc = by_msg("allocation (`vec!`)");
+    assert!(alloc.message.contains("via lookup_alloc → sneaky_alloc"));
+}
+
+#[test]
+fn htm_transitive_good_is_clean() {
+    assert_clean("htm_transitive_good.rs", "htm-body-hygiene-transitive");
+}
+
+#[test]
+fn htm_transitive_bad_flags_io_and_park_chains() {
+    let findings = lint_fixture("htm_transitive_bad.rs", "htm-body-hygiene-transitive");
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    let io = findings
+        .iter()
+        .find(|f| f.message.contains("IO (`println!`)"))
+        .expect("IO finding");
+    assert!(
+        io.message
+            .contains("`attempt(..) in run` reaches IO (`println!`)"),
+        "{}",
+        io.message
+    );
+    assert!(io
+        .message
+        .contains("via attempt(..) in run → log_it → format_row"));
+    let park = findings
+        .iter()
+        .find(|f| f.message.contains("thread-parking (`sleep(`)"))
+        .expect("park finding");
+    assert!(park.message.contains("via hot_path → helper_sleep"));
+}
+
+#[test]
+fn lock_cycle_good_is_clean() {
+    assert_clean("lock_cycle_good.rs", "lock-order-cycle");
+}
+
+#[test]
+fn lock_cycle_bad_reports_the_exact_acquisition_path() {
+    let findings = lint_fixture("lock_cycle_bad.rs", "lock-order-cycle");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let msg = &findings[0].message;
+    assert!(
+        msg.contains("lock-order cycle `mlock` → `slot` → `mlock`"),
+        "{msg}"
+    );
+    assert!(msg.contains("`mlock` → `slot` at fixtures/lock_cycle_bad.rs:7 (in `Db::put`)"));
+    assert!(msg.contains(
+        "`slot` → `mlock` at fixtures/lock_cycle_bad.rs:14 (in `Db::rebalance`, via `grab_meta`)"
+    ));
+}
+
+#[test]
+fn footprint_good_is_clean() {
+    assert_clean("footprint_good.rs", "htm-footprint");
+}
+
+#[test]
+fn footprint_bad_exceeds_default_write_capacity() {
+    // Default (haswell-shaped) capacity: the looped 8-cell write set
+    // estimates to 512 > 448; the 2112-cell read estimate still fits 4096.
+    let findings = lint_fixture("footprint_bad.rs", "htm-footprint");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("write footprint of ~512"));
+    assert!(findings[0].message.contains("capacity of 448"));
+}
+
+#[test]
+fn footprint_bad_exceeds_rock_read_and_write_capacity() {
+    // With the rock-profile limits (2048 reads, 32 writes — see
+    // `HtmProfile::rock` in ale-vtime) both directions overflow.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/footprint_bad.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    let analysis =
+        ale_lint::Analysis::of_sources(vec![("fixtures/footprint_bad.rs".to_string(), src, true)]);
+    let findings: Vec<_> = analysis
+        .findings(ale_lint::Capacity {
+            reads: 2048,
+            writes: 32,
+        })
+        .into_iter()
+        .filter(|f| f.rule == "htm-footprint")
+        .collect();
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("read footprint of ~2112")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("write footprint of ~512")));
+}
+
+#[test]
 fn src_only_rules_skip_test_surface() {
     // The same impure SWOpt code reported under a tests/ path produces no
     // swopt-purity findings (the rule is src-only).

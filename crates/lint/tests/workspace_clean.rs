@@ -35,6 +35,20 @@ fn baseline_has_no_stale_entries() {
 }
 
 #[test]
+fn baseline_is_burned_down_and_only_shrinks() {
+    // The baseline reached zero entries when the interprocedural rules
+    // landed, and it is a ratchet: new findings must be fixed or
+    // explicitly allowed at the site with a justified comment, never
+    // re-grandfathered here.
+    let root = ale_lint::default_workspace_root();
+    let baseline = ale_lint::load_baseline(&root.join("lint-baseline.txt"));
+    assert!(
+        baseline.is_empty(),
+        "lint-baseline.txt must only shrink; new entries are forbidden:\n{baseline:#?}"
+    );
+}
+
+#[test]
 fn workspace_walk_covers_all_crates() {
     let root = ale_lint::default_workspace_root();
     let files = ale_lint::workspace_files(&root);

@@ -148,6 +148,8 @@ impl SeqVersion {
     /// A reader parked here past the watchdog thresholds (too many version
     /// bumps observed, or too many polls of a version stuck odd) emits one
     /// [`StallEvent::SwOptParked`] and keeps waiting.
+    // ale-lint: swopt — the version-snapshot read is the head of every
+    // SWOpt path; it must stay transitively pure.
     #[inline]
     #[must_use = "a version snapshot is only useful if validated afterwards"]
     pub fn read(&self, wait_until_even: bool) -> u64 {
@@ -205,6 +207,8 @@ impl<T: Copy> SeqLock<T> {
     }
 
     /// Optimistically read the protected value (retrying on interference).
+    // ale-lint: swopt — classic seqlock read side: loads and validation
+    // only, no writes/locks/allocation anywhere in the call chain.
     pub fn read(&self) -> T {
         loop {
             let s1 = self.seq.get();
