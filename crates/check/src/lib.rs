@@ -52,14 +52,19 @@ pub enum StrategyKind {
     Preempt,
     /// Greedy "schedule the most-conflicting thread".
     MostConflicting,
+    /// Weak-memory visibility-delay adversary: always hand off to a random
+    /// peer at every decision point (maximal preemption), pairing with the
+    /// reorder fences at seqlock publish/subscribe boundaries.
+    Reorder,
 }
 
 impl StrategyKind {
-    pub const ALL: [StrategyKind; 4] = [
+    pub const ALL: [StrategyKind; 5] = [
         StrategyKind::LowestClock,
         StrategyKind::RandomWalk,
         StrategyKind::Preempt,
         StrategyKind::MostConflicting,
+        StrategyKind::Reorder,
     ];
 
     pub fn name(self) -> &'static str {
@@ -68,6 +73,7 @@ impl StrategyKind {
             StrategyKind::RandomWalk => "random-walk",
             StrategyKind::Preempt => "preempt",
             StrategyKind::MostConflicting => "most-conflicting",
+            StrategyKind::Reorder => "reorder",
         }
     }
 
@@ -77,6 +83,7 @@ impl StrategyKind {
             "random-walk" => Some(StrategyKind::RandomWalk),
             "preempt" => Some(StrategyKind::Preempt),
             "most-conflicting" => Some(StrategyKind::MostConflicting),
+            "reorder" => Some(StrategyKind::Reorder),
             _ => None,
         }
     }
@@ -91,6 +98,7 @@ impl StrategyKind {
                 permille,
             },
             StrategyKind::MostConflicting => SchedStrategy::MostConflicting { window_ns },
+            StrategyKind::Reorder => SchedStrategy::Reorder { window_ns },
         }
     }
 }
@@ -141,6 +149,14 @@ pub struct CheckConfig {
     /// Seqlock/grouping chaos: stretch conflicting regions by this many
     /// virtual nanoseconds (0 = off).
     pub chaos_ns: u64,
+    /// Weak-memory reorder fences: charge this many virtual nanoseconds at
+    /// every seqlock publish/subscribe boundary (0 = off), so adversarial
+    /// schedules — especially [`StrategyKind::Reorder`] — run whole
+    /// conflicting regions inside the "store still in flight" window.
+    pub reorder_ns: u64,
+    /// Entry lifetime base for the TTL-cache workload, in virtual
+    /// nanoseconds (each fill adds a seeded jitter on top).
+    pub ttl_ns: u64,
     pub fault: Option<FaultSpec>,
     /// Run with `ale-trace` event recording on (full sampling). Adds the
     /// trace oracle — every completed critical section must have emitted a
@@ -168,6 +184,11 @@ impl Default for CheckConfig {
             permille: 120,
             perturb_limit: u64::MAX,
             chaos_ns: 120,
+            reorder_ns: 0,
+            // 800 ns ≈ a handful of ops on the testbed cost model: entries
+            // expire mid-run, so reads race eviction instead of always
+            // hitting fresh or always hitting dead state.
+            ttl_ns: 800,
             fault: None,
             trace: false,
         }
@@ -248,6 +269,7 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
 
     // Arm the global hooks for this schedule.
     ale_sync::chaos::set_publication_delay(cfg.chaos_ns);
+    ale_sync::reorder::set_window(cfg.reorder_ns);
     if let Some(fault) = cfg.fault {
         ale_htm::inject::install(fault.to_plan());
     } else {
@@ -257,6 +279,9 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
         // Full sampling (the determinism oracle needs every record) and a
         // ring deep enough that no schedule in the harness's range drops.
         ale_trace::configure(&ale_trace::TraceConfig::enabled().with_ring_capacity(1 << 16));
+        // Stamp mode-decision events with the workload, so the exported
+        // mode mix breaks down per scenario.
+        ale_trace::set_scenario(cfg.workload.name());
     } else if ale_trace::is_enabled() {
         // A previous caller left tracing on; a trace-off run must behave
         // exactly like one where tracing never existed.
@@ -329,6 +354,8 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
     // Disarm, whatever happened.
     ale_core::clear_cs_observer();
     ale_sync::chaos::set_publication_delay(0);
+    ale_sync::reorder::set_window(0);
+    ale_trace::clear_scenario();
     let injected = ale_htm::inject::clear();
     let trace = if cfg.trace {
         let drained = ale_trace::drain();
@@ -413,6 +440,10 @@ pub fn active_mutation() -> Option<&'static str> {
         Some("mut-leak-region-on-panic")
     } else if cfg!(feature = "mut-trace-drop-event") {
         Some("mut-trace-drop-event")
+    } else if cfg!(feature = "mut-ttl-stale-read") {
+        Some("mut-ttl-stale-read")
+    } else if cfg!(feature = "mut-reorder-publish") {
+        Some("mut-reorder-publish")
     } else {
         None
     }
@@ -426,6 +457,10 @@ pub fn workload_for_mutation(mutation: &str) -> Workload {
         "mut-leak-region-on-panic" => Workload::Panic,
         // SWOpt-heavy, so a dropped SWOpt mode-decision emit is common.
         "mut-trace-drop-event" => Workload::HashMap,
+        // The expired-entry freshness oracle lives in the TTL cache.
+        "mut-ttl-stale-read" => Workload::Ttl,
+        // Torn epoch blocks surface in the registry's SeqBuffer loads.
+        "mut-reorder-publish" => Workload::Registry,
         // Both hashmap mutations break SWOpt-reader integrity.
         _ => Workload::HashMap,
     }

@@ -3,7 +3,8 @@
 //! ```text
 //! ale-check [--seeds N] [--strategy S] [--workload W] [--threads N]
 //!           [--ops N] [--platform P] [--chaos NS] [--window NS]
-//!           [--permille N] [--fault point:kind:every[:max_hits]]
+//!           [--permille N] [--reorder NS] [--ttl NS]
+//!           [--fault point:kind:every[:max_hits]]
 //!           [--seed-base N] [--out DIR]
 //! ale-check --replay FILE
 //! ale-check selftest [--seeds N] [--out DIR]
@@ -40,12 +41,14 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: ale-check [selftest] [--seeds N] [--strategy S|all] [--workload W|all]\n\
+    "usage: ale-check [selftest] [--seeds N] [--strategy S|all] [--workload W|all|scenarios]\n\
      \t[--threads N] [--ops N] [--platform P] [--chaos NS] [--window NS]\n\
-     \t[--permille N] [--fault point:kind:every[:max_hits]] [--seed-base N]\n\
+     \t[--permille N] [--reorder NS] [--ttl NS]\n\
+     \t[--fault point:kind:every[:max_hits]] [--seed-base N]\n\
      \t[--trace] [--out DIR] [--replay FILE]\n\
-     strategies: lowest-clock random-walk preempt most-conflicting\n\
-     workloads:  hashmap kyoto bank snzi\n\
+     strategies: lowest-clock random-walk preempt most-conflicting reorder\n\
+     workloads:  hashmap kyoto bank snzi panic ttl queue transfer registry nested\n\
+     \t(`scenarios` = the real-world pack: ttl queue transfer registry nested)\n\
      platforms:  testbed haswell rock t2"
 }
 
@@ -91,6 +94,8 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--workload")?;
                 args.workloads = if v == "all" {
                     Workload::ALL.to_vec()
+                } else if v == "scenarios" {
+                    Workload::SCENARIOS.to_vec()
                 } else {
                     vec![Workload::parse(&v).ok_or(format!("unknown workload `{v}`"))?]
                 };
@@ -127,6 +132,19 @@ fn parse_args() -> Result<Args, String> {
                 args.base.permille = value("--permille")?
                     .parse()
                     .map_err(|_| "bad --permille".to_string())?
+            }
+            "--reorder" => {
+                args.base.reorder_ns = value("--reorder")?
+                    .parse()
+                    .map_err(|_| "bad --reorder".to_string())?
+            }
+            "--ttl" => {
+                args.base.ttl_ns = value("--ttl")?
+                    .parse()
+                    .map_err(|_| "bad --ttl".to_string())?;
+                if args.base.ttl_ns == 0 {
+                    return Err("--ttl must be >= 1".into());
+                }
             }
             "--fault" => args.base.fault = Some(replay::parse_fault(&value("--fault")?)?),
             "--trace" => args.base.trace = true,
@@ -171,10 +189,15 @@ fn report_failure(cfg: &CheckConfig, outcome: &ale_check::RunOutcome, out_dir: &
     let (final_cfg, note) = match minimize::minimize(cfg, outcome) {
         Some(min) => {
             eprintln!(
-                "minimised in {} runs: perturb_limit {} -> {}{}",
+                "minimised in {} runs: perturb_limit {} -> {}{}{}",
                 min.runs,
                 outcome.decisions,
                 min.config.perturb_limit,
+                if cfg.reorder_ns > 0 {
+                    format!(", reorder window -> {}ns", min.config.reorder_ns)
+                } else {
+                    String::new()
+                },
                 min.config
                     .fault
                     .map(|f| format!(", fault budget -> {}", f.max_hits))
@@ -239,6 +262,7 @@ fn run_replay(path: &Path) -> ExitCode {
             t.dropped,
             t.digest()
         );
+        print!("{}", ale_trace::scenario_mode_mix(&t.events));
     }
     if outcome.failed() {
         println!("{} violation(s):", outcome.violations.len());
@@ -303,6 +327,11 @@ fn run_selftest(args: &Args) -> ExitCode {
             // only the trace-stream oracle can catch it.
             if mutation == "mut-trace-drop-event" {
                 base.trace = true;
+            }
+            // The reordered publication only tears observably when the
+            // weak-memory adversary holds stores in the window; arm it.
+            if mutation == "mut-reorder-publish" && base.reorder_ns == 0 {
+                base.reorder_ns = 400;
             }
             eprintln!(
                 "selftest: hunting `{mutation}` on the {} workload (budget {} seeds x {} strategies)",

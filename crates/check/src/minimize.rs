@@ -75,6 +75,20 @@ pub fn minimize(cfg: &CheckConfig, witness: &RunOutcome) -> Option<Minimized> {
     runs += n;
     cfg.perturb_limit = limit;
 
+    // Shrink the weak-memory reorder window (a smaller window means fewer
+    // and narrower delayed-visibility gaps in the replayed schedule).
+    if cfg.reorder_ns > 0 {
+        let (window, n) = bisect(0, cfg.reorder_ns, |reorder_ns| {
+            run_once(&CheckConfig {
+                reorder_ns,
+                ..cfg.clone()
+            })
+            .failed()
+        });
+        runs += n;
+        cfg.reorder_ns = window;
+    }
+
     // Shrink the fault budget.
     if let Some(fault) = cfg.fault {
         let (hits, n) = bisect(0, fault.max_hits, |max_hits| {

@@ -105,6 +105,8 @@ pub fn write(cfg: &CheckConfig) -> String {
     out.push_str(&format!("permille={}\n", cfg.permille));
     out.push_str(&format!("perturb_limit={}\n", cfg.perturb_limit));
     out.push_str(&format!("chaos_ns={}\n", cfg.chaos_ns));
+    out.push_str(&format!("reorder_ns={}\n", cfg.reorder_ns));
+    out.push_str(&format!("ttl_ns={}\n", cfg.ttl_ns));
     if let Some(fault) = &cfg.fault {
         out.push_str(&format!("fault={}\n", fault_string(fault)));
     }
@@ -146,6 +148,8 @@ pub fn parse(text: &str) -> Result<CheckConfig, String> {
                 cfg.perturb_limit = value.parse().map_err(|_| bad("perturb_limit"))?;
             }
             "chaos_ns" => cfg.chaos_ns = value.parse().map_err(|_| bad("chaos_ns"))?,
+            "reorder_ns" => cfg.reorder_ns = value.parse().map_err(|_| bad("reorder_ns"))?,
+            "ttl_ns" => cfg.ttl_ns = value.parse().map_err(|_| bad("ttl_ns"))?,
             "fault" => cfg.fault = Some(parse_fault(value)?),
             "trace" => cfg.trace = value.parse().map_err(|_| bad("trace"))?,
             _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
@@ -175,6 +179,8 @@ mod tests {
             permille: 75,
             perturb_limit: 12_345,
             chaos_ns: 60,
+            reorder_ns: 350,
+            ttl_ns: 640,
             fault: Some(FaultSpec {
                 point: InjectPoint::Commit,
                 kind: InjectKind::LockHeld,
@@ -186,6 +192,32 @@ mod tests {
         let text = write(&cfg);
         let parsed = parse(&text).expect("replay text must parse");
         assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn new_knobs_round_trip_byte_identical() {
+        // The scenario-pack knobs (workload name, reorder window, TTL
+        // params) must survive parse → re-serialize with no drift: the
+        // second rendering is byte-identical to the first.
+        for workload in [
+            Workload::Ttl,
+            Workload::Queue,
+            Workload::Transfer,
+            Workload::Registry,
+            Workload::Nested,
+        ] {
+            let cfg = CheckConfig {
+                workload,
+                strategy: StrategyKind::Reorder,
+                reorder_ns: 400,
+                ttl_ns: 256,
+                ..CheckConfig::default()
+            };
+            let text = write(&cfg);
+            let parsed = parse(&text).expect("replay text must parse");
+            assert_eq!(parsed, cfg);
+            assert_eq!(write(&parsed), text, "re-serialization drifted");
+        }
     }
 
     #[test]

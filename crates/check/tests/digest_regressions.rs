@@ -1,0 +1,71 @@
+//! Satellite: seed-stable operation sampling is a regression surface.
+//!
+//! Each lane's RNG is derived from `seed ^ FNV(workload name) ^ lane`, so
+//! the op sequence a given (workload, seed, lane) draws is pinned forever.
+//! These digests fail if anyone perturbs the sampling — reordering
+//! `gen_range` calls, changing an op mix, touching the sub-seed derivation
+//! — which would silently invalidate every replay file in the wild.
+//!
+//! If a change *means* to alter schedules (new op kind, retuned mix),
+//! re-bless by updating the constants with the values the failure prints.
+
+use ale_check::{run_once, CheckConfig, StrategyKind, Workload};
+
+/// The pinned scenario-pack digests: (workload, digest).
+const PINNED: [(Workload, u64); 5] = [
+    (Workload::Ttl, 0x3d81_8e01_8d31_02e7),
+    (Workload::Queue, 0x5040_a4fe_9b4d_e6fa),
+    (Workload::Transfer, 0xb359_61dc_7710_af9b),
+    (Workload::Registry, 0xa9e3_1661_4319_f48b),
+    (Workload::Nested, 0xe9c0_0a41_1c4a_500c),
+];
+
+fn pinned_config(workload: Workload) -> CheckConfig {
+    CheckConfig {
+        workload,
+        strategy: StrategyKind::Reorder,
+        threads: 4,
+        ops: 200,
+        seed: 1,
+        sched_seed: 0x5EED,
+        reorder_ns: 250,
+        ..CheckConfig::default()
+    }
+}
+
+#[test]
+fn scenario_digests_are_pinned() {
+    // BLESS=1 prints the constants to paste into PINNED instead of failing.
+    let bless = std::env::var_os("BLESS").is_some();
+    for (workload, want) in PINNED {
+        let outcome = run_once(&pinned_config(workload));
+        if bless {
+            println!("    (Workload::{:?}, {:#018x}),", workload, outcome.digest);
+            continue;
+        }
+        assert!(
+            outcome.violations.is_empty(),
+            "{}: pinned schedule must be clean: {:?}",
+            workload.name(),
+            outcome.violations
+        );
+        assert_eq!(
+            outcome.digest,
+            want,
+            "{}: digest drifted to {:#018x} — op sampling or oracles changed; \
+             re-bless only if the change is intentional",
+            workload.name(),
+            outcome.digest
+        );
+    }
+}
+
+#[test]
+fn pinned_schedules_replay_bit_identically() {
+    let cfg = pinned_config(Workload::Registry);
+    let a = run_once(&cfg);
+    let b = run_once(&cfg);
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.makespan_ns, b.makespan_ns);
+}

@@ -31,6 +31,7 @@ pub mod clh;
 pub mod counters;
 pub mod mutex;
 pub mod raw_lock;
+pub mod reorder;
 pub mod rwlock;
 pub mod seqlock;
 pub mod snzi;
@@ -45,7 +46,7 @@ pub use counters::StatCounter;
 pub use mutex::{TickMutex, TickMutexGuard};
 pub use raw_lock::{RawLock, RawRwLock};
 pub use rwlock::RwLock;
-pub use seqlock::{close_open_regions, open_region_count, SeqLock, SeqVersion};
+pub use seqlock::{close_open_regions, open_region_count, SeqBuffer, SeqLock, SeqVersion};
 pub use snzi::{Snzi, SnziGuard};
 pub use spinlock::SpinLock;
 pub use ticket::TicketLock;

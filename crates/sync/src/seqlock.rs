@@ -121,6 +121,10 @@ impl SeqVersion {
         // Chaos point (no-op unless ale-check enables it): stretch the
         // odd-version window so adversarial schedules land inside it.
         crate::chaos::stall();
+        // Reorder fence: the bump is published but the caller's data writes
+        // have not happened yet — the window a delayed version store would
+        // open from the other side.
+        crate::reorder::publish_fence();
     }
 
     /// Mark the end of the conflicting region.
@@ -184,6 +188,11 @@ impl SeqVersion {
     #[inline]
     #[must_use = "ignoring validation defeats the optimistic read protocol"]
     pub fn validate(&self, snapshot: u64) -> bool {
+        // Reorder fence: the caller's optimistic data reads are done but
+        // not yet validated — a hoisted validating load would commit them
+        // against a stale version; the fence lets adversarial schedules
+        // run whole conflicting regions inside this gap.
+        crate::reorder::subscribe_fence();
         tick(Event::SharedLoad);
         self.v.get() == snapshot
     }
@@ -218,6 +227,7 @@ impl<T: Copy> SeqLock<T> {
                 continue;
             }
             let v = self.data.load_consistent();
+            crate::reorder::subscribe_fence();
             let s2 = self.seq.get();
             if s1 == s2 {
                 return v;
@@ -238,9 +248,90 @@ impl<T: Copy> SeqLock<T> {
         }
         let old = self.data.load_consistent();
         self.data.set(f(old));
+        crate::reorder::publish_fence();
         // Release: odd -> even.
         let s = self.seq.get();
         self.seq.set(s + 1);
+    }
+}
+
+/// A multi-word published record: `N` [`HtmCell`] data words guarded by one
+/// [`SeqVersion`].
+///
+/// This is the smallest structure where publication ordering is *load
+/// bearing*: each cell write is its own shared store (with its own virtual
+/// time tick), so an adversarial schedule can park another lane between any
+/// two of them. A correctly-ordered [`store`](SeqBuffer::store) brackets the
+/// writes with `begin/end_conflicting_action`, so optimistic
+/// [`load`](SeqBuffer::load)ers that land mid-write see an odd (or changed)
+/// version and retry. Contrast a single `HtmCell<[u64; N]>`, whose store is
+/// one indivisible step in the simulator and can never tear.
+///
+/// Writers must serialise externally (hold the owning lock or run inside a
+/// transaction) — same contract as [`SeqVersion`] itself.
+#[derive(Debug)]
+pub struct SeqBuffer<const N: usize> {
+    ver: SeqVersion,
+    cells: [HtmCell<u64>; N],
+}
+
+impl<const N: usize> Default for SeqBuffer<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> SeqBuffer<N> {
+    pub fn new() -> Self {
+        SeqBuffer {
+            ver: SeqVersion::new(),
+            cells: std::array::from_fn(|_| HtmCell::new(0)),
+        }
+    }
+
+    /// Publish a new `N`-word snapshot (caller holds the owning lock).
+    pub fn store(&self, vals: [u64; N]) {
+        if cfg!(feature = "mut-reorder-publish") {
+            // MUTATION: the data writes escape *ahead of* the version bump —
+            // the classic compiler/CPU reordering the seqlock protocol
+            // exists to forbid. Readers that overlap the cell writes
+            // validate against a still-even, unchanged version and accept a
+            // torn snapshot. ale-check's selftest must catch this.
+            for (c, v) in self.cells.iter().zip(vals) {
+                c.set(v);
+            }
+            self.ver.begin_conflicting_action();
+            self.ver.end_conflicting_action();
+        } else {
+            self.ver.begin_conflicting_action();
+            for (c, v) in self.cells.iter().zip(vals) {
+                c.set(v);
+            }
+            self.ver.end_conflicting_action();
+        }
+    }
+
+    /// Optimistically read a consistent `N`-word snapshot, retrying through
+    /// concurrent stores.
+    // ale-lint: swopt — loads and validation only, like SeqLock::read.
+    pub fn load(&self) -> [u64; N] {
+        loop {
+            let snap = self.ver.read(true);
+            let mut out = [0u64; N];
+            for (o, c) in out.iter_mut().zip(self.cells.iter()) {
+                *o = c.get();
+            }
+            // validate() carries the subscribe-side reorder fence.
+            if self.ver.validate(snap) {
+                return out;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// The guarding version, for callers composing wider SWOpt validation.
+    pub fn version(&self) -> &SeqVersion {
+        &self.ver
     }
 }
 
@@ -420,6 +511,45 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn seqbuffer_roundtrips_single_thread() {
+        let buf: SeqBuffer<4> = SeqBuffer::new();
+        assert_eq!(buf.load(), [0; 4]);
+        buf.store([7, 8, 9, 10]);
+        assert_eq!(buf.load(), [7, 8, 9, 10]);
+        let snap = buf.version().read(true);
+        assert!(buf.version().validate(snap));
+    }
+
+    // Under the mutation the whole point is that snapshots *can* tear, so
+    // this assertion only holds for the correctly-ordered store.
+    #[cfg(not(feature = "mut-reorder-publish"))]
+    #[test]
+    fn seqbuffer_snapshots_never_tear_under_adversary() {
+        use crate::raw_lock::RawLock;
+        use ale_vtime::{Platform, SchedStrategy, Sim};
+        let buf: SeqBuffer<3> = SeqBuffer::new();
+        let lock = crate::SpinLock::new();
+        Sim::new(Platform::testbed(), 3)
+            .with_seed(9)
+            .with_strategy(SchedStrategy::Reorder { window_ns: 300 })
+            .run(|lane| {
+                if lane.id() == 0 {
+                    for e in 1..=24u64 {
+                        lock.acquire();
+                        buf.store([e; 3]);
+                        lock.release();
+                    }
+                } else {
+                    for _ in 0..64 {
+                        let [a, b, c] = buf.load();
+                        assert!(a == b && b == c, "torn snapshot: {a} {b} {c}");
+                    }
+                }
+            });
+        assert_eq!(buf.load(), [24; 3]);
     }
 
     #[test]

@@ -110,6 +110,10 @@ impl Snzi {
     /// Is the surplus nonzero? One shared load.
     #[inline]
     pub fn query(&self) -> bool {
+        // Subscription-side reorder fence: a deferral decision made on this
+        // load can go stale the instant another lane arrives; the fence lets
+        // adversarial schedules stretch that gap.
+        crate::reorder::subscribe_fence();
         tick(Event::SharedLoad);
         self.root.load(Ordering::Acquire) != 0
     }

@@ -113,9 +113,17 @@ impl TraceEvent {
     }
 
     /// A critical section completed in `mode` for `reason`, after
-    /// `attempts` executions of the body.
+    /// `attempts` executions of the body. `c` carries the current scenario
+    /// tag (see [`crate::scenario`]); 0 when no scenario is set.
     pub fn mode_decision(label: u16, mode: u8, why: u8, attempts: u64) -> TraceEvent {
-        TraceEvent::new(EventKind::ModeDecision, label, mode, why, 0, attempts)
+        TraceEvent::new(
+            EventKind::ModeDecision,
+            label,
+            mode,
+            why,
+            crate::scenario::scenario_tag(),
+            attempts,
+        )
     }
 
     /// A hardware transaction aborted with the given classification.

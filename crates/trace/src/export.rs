@@ -168,6 +168,44 @@ impl PromWriter {
     }
 }
 
+/// Break a merged stream's mode mix down by scenario: one
+/// `ale_scenario_mode_total{scenario,mode}` counter per observed
+/// (scenario tag, mode) pair, in deterministic (tag, mode) order.
+///
+/// Events emitted outside any [`set_scenario`](crate::scenario::set_scenario)
+/// window report as `scenario="untagged"`.
+pub fn scenario_mode_mix(events: &[TraceEvent]) -> String {
+    use crate::event::EventKind;
+    let mut counts: std::collections::BTreeMap<(u8, u8), u64> = std::collections::BTreeMap::new();
+    for e in events {
+        if e.kind() == Some(EventKind::ModeDecision) {
+            *counts.entry((e.c, e.a)).or_insert(0) += 1;
+        }
+    }
+    let mut w = PromWriter::new();
+    w.family(
+        "ale_scenario_mode_total",
+        "Critical-section completions by scenario and mode.",
+        "counter",
+    );
+    for ((tag, mode), n) in &counts {
+        let name = crate::scenario::scenario_name(*tag);
+        let scenario = if name.is_empty() { "untagged" } else { &name };
+        let mode = match mode {
+            0 => "htm",
+            1 => "swopt",
+            2 => "lock",
+            _ => "unknown",
+        };
+        w.sample(
+            "ale_scenario_mode_total",
+            &[("scenario", scenario), ("mode", mode)],
+            *n as f64,
+        );
+    }
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,11 +26,13 @@ pub mod event;
 pub mod export;
 mod intern;
 pub mod ring;
+pub mod scenario;
 
 pub use event::{reason, EventKind, TraceEvent};
-pub use export::{digest, escape_json, to_json, to_jsonl, Fnv, PromWriter};
+pub use export::{digest, escape_json, scenario_mode_mix, to_json, to_jsonl, Fnv, PromWriter};
 pub use intern::{label_id, label_name};
 pub use ring::Ring;
+pub use scenario::{clear_scenario, scenario_name, scenario_tag, set_scenario};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};

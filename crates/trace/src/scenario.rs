@@ -1,0 +1,101 @@
+//! Scenario tagging: a process-global workload label stamped into every
+//! [`ModeDecision`](crate::EventKind::ModeDecision) event.
+//!
+//! The checker runs named scenario workloads (ttl cache, bounded queue,
+//! transfers, …) back to back in one process; without a tag the exported
+//! mode mix collapses them into one blob. A harness calls
+//! [`set_scenario`] before driving a workload and [`clear_scenario`]
+//! after; while set, [`TraceEvent::mode_decision`](crate::TraceEvent)
+//! stamps the tag into the event's previously-unused `c` byte, so
+//! [`scenario_mode_mix`](crate::export::scenario_mode_mix) can break the
+//! mode distribution down per scenario.
+//!
+//! Tags use a dedicated intern table (distinct from the label table: tags
+//! must fit one byte). Like label ids they are assigned in first-use order
+//! and never cleared, so same-seed runs agree on tags — the `c` byte is on
+//! the digest surface, and this keeps it deterministic. Tag 0 is reserved
+//! for "untagged"; an overflow past 255 scenarios degrades to 0.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static CURRENT: AtomicU32 = AtomicU32::new(0);
+
+fn table() -> &'static Mutex<Vec<String>> {
+    static TABLE: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(vec![String::new()]))
+}
+
+fn tag_for(name: &str) -> u8 {
+    if name.is_empty() {
+        return 0;
+    }
+    let mut t = table().lock().unwrap();
+    if let Some(i) = t.iter().position(|s| s == name) {
+        return i as u8;
+    }
+    if t.len() > u8::MAX as usize {
+        return 0;
+    }
+    t.push(name.to_string());
+    (t.len() - 1) as u8
+}
+
+/// Tag subsequent `ModeDecision` events with `name` (interned on first
+/// use). An empty name is equivalent to [`clear_scenario`].
+pub fn set_scenario(name: &str) {
+    CURRENT.store(tag_for(name) as u32, Ordering::Release);
+}
+
+/// Stop tagging: subsequent events carry tag 0 ("untagged").
+pub fn clear_scenario() {
+    CURRENT.store(0, Ordering::Release);
+}
+
+/// The tag stamped into events emitted now (0 = untagged).
+pub fn scenario_tag() -> u8 {
+    CURRENT.load(Ordering::Acquire) as u8
+}
+
+/// The scenario behind `tag` (empty string for 0 or an unknown tag).
+pub fn scenario_name(tag: u8) -> String {
+    table()
+        .lock()
+        .unwrap()
+        .get(tag as usize)
+        .cloned()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable_and_reserved() {
+        let _g = crate::test_serial();
+        assert_eq!(scenario_name(0), "");
+        set_scenario("scenario-test-a");
+        let a = scenario_tag();
+        assert_ne!(a, 0);
+        assert_eq!(scenario_name(a), "scenario-test-a");
+        set_scenario("scenario-test-b");
+        let b = scenario_tag();
+        assert_ne!(b, a);
+        set_scenario("scenario-test-a");
+        assert_eq!(scenario_tag(), a, "re-use resolves to the same tag");
+        clear_scenario();
+        assert_eq!(scenario_tag(), 0);
+    }
+
+    #[test]
+    fn mode_decision_carries_the_current_tag() {
+        let _g = crate::test_serial();
+        set_scenario("scenario-test-stamp");
+        let tag = scenario_tag();
+        let ev = crate::TraceEvent::mode_decision(1, 0, 0, 1);
+        clear_scenario();
+        assert_eq!(ev.c, tag);
+        assert_eq!(crate::TraceEvent::mode_decision(1, 0, 0, 1).c, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden-snapshot test for the per-scenario mode-mix exporter: the
+//! `ale_scenario_mode_total` family is a stable surface dashboards scrape,
+//! so any change must show up as a reviewed fixture diff.
+//!
+//! Regenerate the fixture after an intentional schema change with:
+//! `BLESS=1 cargo test -p ale-trace --test scenario_golden`
+
+use ale_trace::{
+    clear_scenario, reason, scenario_mode_mix, scenario_tag, set_scenario, TraceEvent,
+};
+
+/// A deterministic synthetic stream: two tagged scenarios with distinct
+/// mode mixes, one untagged stretch, plus a non-ModeDecision event the
+/// exporter must ignore. Runs in its own test binary, so first-use tag
+/// assignment is deterministic.
+fn demo_stream() -> Vec<TraceEvent> {
+    let mut evs = Vec::new();
+    let mut push_mode = |mode: u8, why: u8, n: usize| {
+        for _ in 0..n {
+            evs.push(TraceEvent::mode_decision(1, mode, why, 1));
+        }
+    };
+    set_scenario("ttl");
+    push_mode(0, reason::HTM_COMMIT, 5);
+    push_mode(1, reason::SWOPT_COMMIT, 3);
+    push_mode(2, reason::LOCK_FALLBACK, 1);
+    set_scenario("registry");
+    push_mode(1, reason::SWOPT_COMMIT, 7);
+    push_mode(2, reason::LOCK_PLANNED, 2);
+    clear_scenario();
+    push_mode(0, reason::HTM_COMMIT, 4);
+    evs.push(TraceEvent::lock_poison(1)); // must not count
+    evs
+}
+
+#[test]
+fn scenario_mix_matches_golden_fixture() {
+    let _g = ale_trace::test_serial();
+    let got = scenario_mode_mix(&demo_stream());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/scenario_mix.prom"
+    );
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(path, &got).expect("write blessed fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect(
+        "fixture missing — regenerate with BLESS=1 cargo test -p ale-trace --test scenario_golden",
+    );
+    assert_eq!(
+        got, expected,
+        "scenario mode-mix exporter drifted from the golden fixture; if the \
+         change is intentional, regenerate with BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn scenario_mix_breaks_modes_down_per_scenario() {
+    let _g = ale_trace::test_serial();
+    let text = scenario_mode_mix(&demo_stream());
+    assert!(text.contains("# TYPE ale_scenario_mode_total counter\n"));
+    assert!(text.contains("ale_scenario_mode_total{scenario=\"untagged\",mode=\"htm\"} 4\n"));
+    assert!(text.contains("ale_scenario_mode_total{scenario=\"ttl\",mode=\"htm\"} 5\n"));
+    assert!(text.contains("ale_scenario_mode_total{scenario=\"ttl\",mode=\"swopt\"} 3\n"));
+    assert!(text.contains("ale_scenario_mode_total{scenario=\"ttl\",mode=\"lock\"} 1\n"));
+    assert!(text.contains("ale_scenario_mode_total{scenario=\"registry\",mode=\"swopt\"} 7\n"));
+    assert!(text.contains("ale_scenario_mode_total{scenario=\"registry\",mode=\"lock\"} 2\n"));
+    // The lock_poison event contributes nothing.
+    assert_eq!(text.matches("ale_scenario_mode_total{").count(), 6);
+}
+
+#[test]
+fn clearing_restores_the_untagged_state() {
+    let _g = ale_trace::test_serial();
+    set_scenario("scenario-golden-extra");
+    assert_ne!(scenario_tag(), 0);
+    clear_scenario();
+    assert_eq!(scenario_tag(), 0);
+}

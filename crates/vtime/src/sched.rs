@@ -66,6 +66,18 @@ pub enum SchedStrategy {
         /// Eligibility window above the minimum runnable clock.
         window_ns: u64,
     },
+    /// Weak-memory visibility-delay adversary: at every decision point,
+    /// hand the CPU to a *different* eligible lane whenever one exists
+    /// (uniformly among the peers), continuing only when the current lane
+    /// is alone in the window. Paired with the `ale-sync` reorder fences —
+    /// which charge virtual time exactly at seqlock publish/subscription
+    /// boundaries — this parks a publishing lane mid-publication while
+    /// every other lane runs, the deterministic analogue of a store
+    /// sitting in a store buffer past the version bump.
+    Reorder {
+        /// Eligibility window above the minimum runnable clock.
+        window_ns: u64,
+    },
 }
 
 impl SchedStrategy {
@@ -81,7 +93,8 @@ impl SchedStrategy {
             SchedStrategy::LowestClock => 0,
             SchedStrategy::RandomWalk { window_ns }
             | SchedStrategy::Preempt { window_ns, .. }
-            | SchedStrategy::MostConflicting { window_ns } => window_ns,
+            | SchedStrategy::MostConflicting { window_ns }
+            | SchedStrategy::Reorder { window_ns } => window_ns,
         }
     }
 }
@@ -281,6 +294,18 @@ impl LaneCtx {
                     )
                 })
                 .unwrap(),
+            SchedStrategy::Reorder { .. } => {
+                // Maximal preemption: always switch away when a peer is
+                // eligible, so a lane parked at a reorder fence stays
+                // parked while every other lane observes the half-published
+                // state it left behind.
+                let peers: Vec<usize> = cand.iter().copied().filter(|&i| i != me).collect();
+                if peers.is_empty() {
+                    me
+                } else {
+                    peers[state.srng.gen_range(peers.len() as u64) as usize]
+                }
+            }
         };
         if pick == me {
             Pick::Continue(my_clock)
@@ -754,6 +779,7 @@ mod tests {
                 permille: 300,
             },
             SchedStrategy::MostConflicting { window_ns: 500 },
+            SchedStrategy::Reorder { window_ns: 500 },
         ] {
             assert_eq!(
                 strategy_trace(strategy, 7),
@@ -761,6 +787,30 @@ mod tests {
                 "{strategy:?}"
             );
         }
+    }
+
+    #[test]
+    fn reorder_strategy_preempts_and_terminates() {
+        // The reorder adversary must deviate from lowest-clock order, keep
+        // every lane live, and run every step exactly once.
+        let base = {
+            let order = Mutex::new(Vec::new());
+            Sim::new(testbed(), 4).run(|lane| {
+                for step in 0..40u64 {
+                    tick(Event::LocalWork(10 + (lane.id() as u64) * 7 + step % 3));
+                    order.lock().unwrap().push((lane.id(), step));
+                }
+            });
+            order.into_inner().unwrap()
+        };
+        let reorder = strategy_trace(SchedStrategy::Reorder { window_ns: 500 }, 11);
+        assert_ne!(base, reorder, "reorder adversary must deviate");
+        let mut sorted = reorder.clone();
+        sorted.sort_unstable();
+        let mut expect: Vec<(usize, u64)> =
+            (0..4).flat_map(|l| (0..40).map(move |s| (l, s))).collect();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect, "no step may be lost or duplicated");
     }
 
     #[test]
