@@ -1,0 +1,316 @@
+//! Pinned per-PR benchmark trajectory (ROADMAP item 5).
+//!
+//! ```text
+//! trajectory [--quick] [--seed N] [--out FILE]
+//! ```
+//!
+//! Runs a small, fixed suite and emits one JSON document:
+//!
+//! * one **fig2 cell** — the HashMap read-heavy mix on Haswell under
+//!   `Adaptive-All` (the headline configuration of the paper's Figure 2);
+//! * the **storm-recovery** scenario — breaker trips/restores and per-phase
+//!   throughput through an injected abort storm;
+//! * the **durability overhead** — the Kyoto `wicked` workload against the
+//!   same CacheDB with the WAL off (`AleCacheDb`) and on
+//!   (`DurableCacheDb`), identical op streams, plus a recovery pass that
+//!   must reproduce the live database.
+//!
+//! The output is committed as `BENCH_<n>.json` at the repo root, one file
+//! per PR, so the numbers form a trajectory reviewers can diff. Everything
+//! runs under the virtual-time simulator: results are deterministic for a
+//! fixed `(--seed, --quick)` pair, so a regenerated file that differs from
+//! the committed one is a real behaviour change, not noise.
+
+use std::sync::Arc;
+
+use ale_bench::harness::{run_hashmap, HashMapWorkload, BENCH_SLACK_NS};
+use ale_bench::{run_storm, StormConfig, Variant};
+use ale_core::{Ale, AleConfig, StaticPolicy};
+use ale_kyoto::{
+    prefill, recover, wicked_op, AleCacheDb, DbConfig, DurableCacheDb, KyotoDb, Wal, WickedConfig,
+    WickedStats, RECORD_BYTES,
+};
+use ale_vtime::{Platform, Sim};
+
+struct Opts {
+    quick: bool,
+    seed: u64,
+    out: Option<std::path::PathBuf>,
+}
+
+/// One wicked run's outcome, WAL on or off.
+struct WickedRun {
+    makespan_ns: u64,
+    mops: f64,
+    total_ops: u64,
+}
+
+/// Run the `wicked` workload against `db` under the simulator. The op
+/// stream depends only on `(threads, ops_per_lane, seed)` — never on the
+/// database flavour — so WAL-on and WAL-off runs are directly comparable.
+fn run_wicked(
+    db: &dyn KyotoDb,
+    platform: &Platform,
+    threads: usize,
+    cfg: &WickedConfig,
+    ops_per_lane: u64,
+    seed: u64,
+) -> WickedRun {
+    prefill(db, cfg, seed);
+    let report = Sim::new(platform.clone(), threads)
+        .with_seed(seed ^ 0xBEEF)
+        .with_slack(BENCH_SLACK_NS)
+        .run(|lane| {
+            let mut rng = lane.rng().clone();
+            let mut stats = WickedStats::default();
+            for _ in 0..ops_per_lane {
+                wicked_op(db, cfg, &mut rng, &mut stats);
+            }
+            stats
+        });
+    let total_ops = ops_per_lane * threads as u64;
+    WickedRun {
+        makespan_ns: report.makespan_ns,
+        mops: report.throughput(total_ops) / 1e6,
+        total_ops,
+    }
+}
+
+fn ale_for(platform: &Platform, seed: u64) -> Arc<Ale> {
+    Ale::new(
+        AleConfig::new(platform.clone()).with_seed(seed),
+        StaticPolicy::new(3, 8),
+    )
+}
+
+/// WAL-off vs WAL-on comparison plus the recovery check, as JSON.
+fn durability_section(opts: &Opts) -> String {
+    let platform = Platform::haswell();
+    let threads = 4;
+    let ops_per_lane: u64 = if opts.quick { 1_200 } else { 4_000 };
+    let cfg = WickedConfig {
+        key_space: 4 * 1024,
+        count_permille: 0,
+        ..Default::default()
+    };
+    let db_cfg = DbConfig {
+        buckets_per_slot: 256,
+        capacity_per_slot: 8 * 1024,
+        payload_cells: 0,
+    };
+
+    let off_ale = ale_for(&platform, opts.seed);
+    let off_db = AleCacheDb::new(&off_ale, db_cfg.clone());
+    let off = run_wicked(&off_db, &platform, threads, &cfg, ops_per_lane, opts.seed);
+
+    let on_ale = ale_for(&platform, opts.seed);
+    let wal = Arc::new(Wal::new());
+    let on_db = DurableCacheDb::new(&on_ale, db_cfg.clone(), Arc::clone(&wal));
+    let on = run_wicked(&on_db, &platform, threads, &cfg, ops_per_lane, opts.seed);
+
+    // Recovery must rebuild exactly the live database from the log alone.
+    let rec_ale = ale_for(&platform, opts.seed ^ 0xD15C);
+    let (rdb, report) = recover(&rec_ale, db_cfg, Arc::clone(&wal));
+    assert!(report.gapless, "crash-free log must be gapless");
+    assert_eq!(report.truncated, 0, "crash-free log must not be truncated");
+    let live_count = on_db.count();
+    let recovered_count = rdb.count();
+    assert_eq!(
+        recovered_count, live_count,
+        "recovery diverged from live db"
+    );
+
+    let overhead = on.makespan_ns as f64 / off.makespan_ns as f64;
+    eprintln!(
+        "  durability: wal-off {:.3} Mops/s, wal-on {:.3} Mops/s, overhead x{overhead:.3}, \
+         {} records recovered",
+        off.mops, on.mops, report.applied
+    );
+    format!(
+        concat!(
+            "{{\n",
+            "    \"workload\": \"wicked\",\n",
+            "    \"platform\": \"haswell\",\n",
+            "    \"threads\": {},\n",
+            "    \"total_ops\": {},\n",
+            "    \"wal_off\": {{ \"makespan_ns\": {}, \"mops\": {:.4} }},\n",
+            "    \"wal_on\": {{ \"makespan_ns\": {}, \"mops\": {:.4}, \"wal_records\": {}, \"wal_bytes\": {} }},\n",
+            "    \"overhead_ratio\": {:.4},\n",
+            "    \"recovery\": {{ \"applied\": {}, \"ignored\": {}, \"gapless\": {}, \"count_matches_live\": {} }}\n",
+            "  }}"
+        ),
+        threads,
+        on.total_ops,
+        off.makespan_ns,
+        off.mops,
+        on.makespan_ns,
+        on.mops,
+        wal.len() / RECORD_BYTES,
+        wal.len(),
+        overhead,
+        report.applied,
+        report.ignored,
+        report.gapless,
+        recovered_count == live_count,
+    )
+}
+
+fn fig2_cell_section(opts: &Opts) -> String {
+    let (ops, warmup) = if opts.quick {
+        (1_500, 200)
+    } else {
+        (6_000, 600)
+    };
+    let r = run_hashmap(
+        Platform::haswell(),
+        Variant::AdaptiveAll,
+        8,
+        &HashMapWorkload::read_heavy(16 * 1024),
+        ops,
+        warmup,
+        opts.seed,
+    );
+    eprintln!(
+        "  fig2 cell: {} {} t={}: {:.3} Mops/s",
+        r.platform, r.variant, r.threads, r.mops
+    );
+    format!(
+        concat!(
+            "{{\n",
+            "    \"platform\": \"{}\",\n",
+            "    \"variant\": \"{}\",\n",
+            "    \"mix\": \"2i/2r/96g\",\n",
+            "    \"threads\": {},\n",
+            "    \"total_ops\": {},\n",
+            "    \"makespan_ns\": {},\n",
+            "    \"mops\": {:.4}\n",
+            "  }}"
+        ),
+        r.platform, r.variant, r.threads, r.total_ops, r.makespan_ns, r.mops
+    )
+}
+
+fn storm_section(opts: &Opts) -> String {
+    let r = run_storm(&StormConfig::quick(Platform::haswell(), 4, true, opts.seed));
+    eprintln!(
+        "  storm: pre {:.3} / storm {:.3} / post {:.3} Mops/s, {} trips, {} restores",
+        r.pre_mops, r.storm_mops, r.post_mops, r.trips, r.restores
+    );
+    format!(
+        concat!(
+            "{{\n",
+            "    \"threads\": 4,\n",
+            "    \"breaker\": true,\n",
+            "    \"pre_mops\": {:.4},\n",
+            "    \"storm_mops\": {:.4},\n",
+            "    \"post_mops\": {:.4},\n",
+            "    \"trips\": {},\n",
+            "    \"restores\": {},\n",
+            "    \"post_htm_ops\": {}\n",
+            "  }}"
+        ),
+        r.pre_mops, r.storm_mops, r.post_mops, r.trips, r.restores, r.post_htm_ops
+    )
+}
+
+fn main() {
+    let mut opts = Opts {
+        quick: false,
+        seed: 42,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer")
+            }
+            "--out" => {
+                opts.out = Some(std::path::PathBuf::from(
+                    args.next().expect("--out needs a file path"),
+                ))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: trajectory [--quick] [--seed N] [--out FILE]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    eprintln!(
+        "trajectory: seed {} ({})",
+        opts.seed,
+        if opts.quick { "quick" } else { "full" }
+    );
+    let fig2 = fig2_cell_section(&opts);
+    let storm = storm_section(&opts);
+    let durability = durability_section(&opts);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"suite\": \"ale-bench trajectory\",\n",
+            "  \"seed\": {},\n",
+            "  \"quick\": {},\n",
+            "  \"fig2_cell\": {},\n",
+            "  \"storm_recovery\": {},\n",
+            "  \"durability\": {}\n",
+            "}}\n"
+        ),
+        opts.seed, opts.quick, fig2, storm, durability
+    );
+    print!("{json}");
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &json).expect("write --out file");
+        eprintln!("trajectory: wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The WAL-on and WAL-off runs consume identical op streams, and the
+    /// durable run can never be *faster*: every mutation pays a simulated
+    /// fsync before the ack.
+    #[test]
+    fn wal_overhead_is_deterministic_and_nonnegative() {
+        let platform = Platform::testbed();
+        let cfg = WickedConfig {
+            key_space: 512,
+            count_permille: 0,
+            ..Default::default()
+        };
+        let db_cfg = DbConfig {
+            buckets_per_slot: 64,
+            capacity_per_slot: 2048,
+            payload_cells: 0,
+        };
+        let run_off = || {
+            let ale = ale_for(&platform, 7);
+            let db = AleCacheDb::new(&ale, db_cfg.clone());
+            run_wicked(&db, &platform, 2, &cfg, 300, 7)
+        };
+        let run_on = || {
+            let ale = ale_for(&platform, 7);
+            let db = DurableCacheDb::new(&ale, db_cfg.clone(), Arc::new(Wal::new()));
+            run_wicked(&db, &platform, 2, &cfg, 300, 7)
+        };
+        let (off_a, off_b) = (run_off(), run_off());
+        let (on_a, on_b) = (run_on(), run_on());
+        assert_eq!(off_a.makespan_ns, off_b.makespan_ns);
+        assert_eq!(on_a.makespan_ns, on_b.makespan_ns);
+        assert!(
+            on_a.makespan_ns >= off_a.makespan_ns,
+            "durable run cannot be faster: on {} vs off {}",
+            on_a.makespan_ns,
+            off_a.makespan_ns
+        );
+    }
+}

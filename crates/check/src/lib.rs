@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use ale_core::CsEvent;
-use ale_htm::{InjectKind, InjectPlan, InjectPoint, InjectRule};
+use ale_htm::{CrashPlan, CrashPoint, InjectKind, InjectPlan, InjectPoint, InjectRule, TornMode};
 use ale_vtime::{PlatformKind, SchedStrategy};
 
 pub mod minimize;
@@ -126,6 +126,28 @@ impl FaultSpec {
     }
 }
 
+/// A planned process crash, as configured from the CLI or a replay file
+/// (`point:after`). Consulted by the durable CacheDB's WAL code paths; the
+/// durable workload arms it after its init phase so `after` counts
+/// workload-phase consults only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    pub point: CrashPoint,
+    /// Fire on the `after`-th consult of `point` (1 = the first); the
+    /// minimiser bisects this to find the shortest failing prefix.
+    pub after: u64,
+}
+
+impl CrashSpec {
+    pub fn to_plan(self, torn: Option<TornMode>) -> CrashPlan {
+        let plan = CrashPlan::new(self.point, self.after);
+        match torn {
+            Some(mode) => plan.with_torn(mode),
+            None => plan,
+        }
+    }
+}
+
 /// Everything that determines one schedule, exactly — the unit of replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckConfig {
@@ -164,6 +186,13 @@ pub struct CheckConfig {
     /// run digest. `false` (the default) leaves digests bit-identical to a
     /// harness without tracing compiled in.
     pub trace: bool,
+    /// Kill the simulated process at a WAL crash point and verify recovery
+    /// (the durable workload's oracle; inert for workloads that never
+    /// touch the WAL). `None` leaves digests untouched.
+    pub crash: Option<CrashSpec>,
+    /// Tail-record damage when the crash lands mid-record (`None` =
+    /// truncate). Requires `crash`.
+    pub torn: Option<TornMode>,
 }
 
 impl Default for CheckConfig {
@@ -191,6 +220,8 @@ impl Default for CheckConfig {
             ttl_ns: 800,
             fault: None,
             trace: false,
+            crash: None,
+            torn: None,
         }
     }
 }
@@ -211,6 +242,9 @@ pub struct RunOutcome {
     pub makespan_ns: u64,
     /// Faults the injection plan actually fired.
     pub injected: u64,
+    /// Whether the planned crash fired (always `false` without
+    /// [`CheckConfig::crash`]).
+    pub crashed: bool,
     /// The merged trace stream, when [`CheckConfig::trace`] was set.
     pub trace: Option<ale_trace::Drained>,
 }
@@ -274,6 +308,15 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
         ale_htm::inject::install(fault.to_plan());
     } else {
         ale_htm::inject::clear();
+    }
+    if let Some(crash) = cfg.crash {
+        // The durable workload re-arms this after its init phase (so the
+        // plan's consult budget counts workload-phase appends only), but
+        // installing here keeps a stale plan from a panicked previous run
+        // from leaking in.
+        ale_htm::inject::install_crash(crash.to_plan(cfg.torn));
+    } else {
+        ale_htm::inject::clear_crash();
     }
     if cfg.trace {
         // Full sampling (the determinism oracle needs every record) and a
@@ -357,6 +400,7 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
     ale_sync::reorder::set_window(0);
     ale_trace::clear_scenario();
     let injected = ale_htm::inject::clear();
+    let crashed = ale_htm::inject::clear_crash();
     let trace = if cfg.trace {
         let drained = ale_trace::drain();
         ale_trace::reset();
@@ -371,6 +415,11 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
     // bit-identical to a harness without tracing at all.
     if let Some(t) = &trace {
         digest.write_u64(t.digest());
+    }
+    // Same contract for the crash knob: folded only when a crash was
+    // planned, so crash-off digests match a harness without the knob.
+    if cfg.crash.is_some() {
+        digest.write_u64(crashed as u64);
     }
 
     match result {
@@ -405,6 +454,7 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
                 decisions: out.decisions,
                 makespan_ns: out.makespan_ns,
                 injected,
+                crashed,
                 trace,
             }
         }
@@ -420,6 +470,7 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
                 decisions: 0,
                 makespan_ns: 0,
                 injected,
+                crashed,
                 trace,
             }
         }
@@ -444,6 +495,10 @@ pub fn active_mutation() -> Option<&'static str> {
         Some("mut-ttl-stale-read")
     } else if cfg!(feature = "mut-reorder-publish") {
         Some("mut-reorder-publish")
+    } else if cfg!(feature = "mut-wal-ack-before-durable") {
+        Some("mut-wal-ack-before-durable")
+    } else if cfg!(feature = "mut-recovery-skip-checksum") {
+        Some("mut-recovery-skip-checksum")
     } else {
         None
     }
@@ -461,6 +516,8 @@ pub fn workload_for_mutation(mutation: &str) -> Workload {
         "mut-ttl-stale-read" => Workload::Ttl,
         // Torn epoch blocks surface in the registry's SeqBuffer loads.
         "mut-reorder-publish" => Workload::Registry,
+        // Both durability mutations need the WAL + crash-point oracles.
+        "mut-wal-ack-before-durable" | "mut-recovery-skip-checksum" => Workload::Durable,
         // Both hashmap mutations break SWOpt-reader integrity.
         _ => Workload::HashMap,
     }

@@ -24,9 +24,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ale_check::{
-    active_mutation, minimize, replay, run_once, workload_for_mutation, CheckConfig, Fnv,
-    StrategyKind, Workload,
+    active_mutation, minimize, replay, run_once, workload_for_mutation, CheckConfig, CrashSpec,
+    Fnv, StrategyKind, Workload,
 };
+use ale_htm::{CrashPoint, TornMode};
 use ale_vtime::PlatformKind;
 
 struct Args {
@@ -45,11 +46,13 @@ fn usage() -> &'static str {
      \t[--threads N] [--ops N] [--platform P] [--chaos NS] [--window NS]\n\
      \t[--permille N] [--reorder NS] [--ttl NS]\n\
      \t[--fault point:kind:every[:max_hits]] [--seed-base N]\n\
+     \t[--crash point[:after]] [--torn truncate|flip]\n\
      \t[--trace] [--out DIR] [--replay FILE]\n\
      strategies: lowest-clock random-walk preempt most-conflicting reorder\n\
-     workloads:  hashmap kyoto bank snzi panic ttl queue transfer registry nested\n\
+     workloads:  hashmap kyoto bank snzi panic ttl queue transfer registry nested durable\n\
      \t(`scenarios` = the real-world pack: ttl queue transfer registry nested)\n\
-     platforms:  testbed haswell rock t2"
+     platforms:  testbed haswell rock t2\n\
+     crash pts:  wal-append pre-commit post-commit mid-record (durable workload)"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -147,11 +150,16 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--fault" => args.base.fault = Some(replay::parse_fault(&value("--fault")?)?),
+            "--crash" => args.base.crash = Some(replay::parse_crash(&value("--crash")?)?),
+            "--torn" => args.base.torn = Some(replay::parse_torn(&value("--torn")?)?),
             "--trace" => args.base.trace = true,
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }
+    }
+    if args.base.torn.is_some() && args.base.crash.is_none() {
+        return Err(format!("--torn requires --crash\n{}", usage()));
     }
     Ok(args)
 }
@@ -203,6 +211,9 @@ fn report_failure(cfg: &CheckConfig, outcome: &ale_check::RunOutcome, out_dir: &
                     .map(|f| format!(", fault budget -> {}", f.max_hits))
                     .unwrap_or_default()
             );
+            if let Some(crash) = min.config.crash {
+                eprintln!("  crash point -> {}", replay::crash_string(&crash));
+            }
             (min.config, "minimised")
         }
         None => {
@@ -255,6 +266,16 @@ fn run_replay(path: &Path) -> ExitCode {
         outcome.decisions,
         outcome.injected
     );
+    if cfg.crash.is_some() {
+        println!(
+            "crash: {}",
+            if outcome.crashed {
+                "fired (recovery verified by the durability oracle)"
+            } else {
+                "planned but did not fire"
+            }
+        );
+    }
     if let Some(t) = &outcome.trace {
         println!(
             "trace: {} event(s), {} dropped, stream digest {:016x}",
@@ -332,6 +353,24 @@ fn run_selftest(args: &Args) -> ExitCode {
             // weak-memory adversary holds stores in the window; arm it.
             if mutation == "mut-reorder-publish" && base.reorder_ns == 0 {
                 base.reorder_ns = 400;
+            }
+            // The ack-before-durable record is only lost when a crash
+            // lands while it sits parked in the volatile buffer; arm a
+            // mid-run crash at a WAL append.
+            if mutation == "mut-wal-ack-before-durable" && base.crash.is_none() {
+                base.crash = Some(CrashSpec {
+                    point: CrashPoint::WalAppend,
+                    after: 40,
+                });
+            }
+            // The skipped checksum only misleads recovery when the crash
+            // leaves a bit-flipped (complete but corrupt) tail record.
+            if mutation == "mut-recovery-skip-checksum" && base.crash.is_none() {
+                base.crash = Some(CrashSpec {
+                    point: CrashPoint::MidRecord,
+                    after: 30,
+                });
+                base.torn = Some(TornMode::Flip);
             }
             eprintln!(
                 "selftest: hunting `{mutation}` on the {} workload (budget {} seeds x {} strategies)",

@@ -89,6 +89,19 @@ pub fn minimize(cfg: &CheckConfig, witness: &RunOutcome) -> Option<Minimized> {
         cfg.reorder_ns = window;
     }
 
+    // Shrink the crash consult index: an earlier crash means a shorter
+    // pre-crash prefix to read in the replay (1 = crash at the very first
+    // consult of the planned point).
+    if let Some(crash) = cfg.crash {
+        let (after, n) = bisect(1, crash.after, |after| {
+            let mut candidate = cfg.clone();
+            candidate.crash = Some(crate::CrashSpec { after, ..crash });
+            run_once(&candidate).failed()
+        });
+        runs += n;
+        cfg.crash = Some(crate::CrashSpec { after, ..crash });
+    }
+
     // Shrink the fault budget.
     if let Some(fault) = cfg.fault {
         let (hits, n) = bisect(0, fault.max_hits, |max_hits| {

@@ -7,10 +7,10 @@
 //! strategy parameters, same fault plan — and produces the same violations
 //! bit for bit.
 
-use ale_htm::{InjectKind, InjectPoint};
+use ale_htm::{CrashPoint, InjectKind, InjectPoint, TornMode};
 use ale_vtime::PlatformKind;
 
-use crate::{CheckConfig, FaultSpec, StrategyKind, Workload};
+use crate::{CheckConfig, CrashSpec, FaultSpec, StrategyKind, Workload};
 
 fn point_name(p: InjectPoint) -> &'static str {
     match p {
@@ -50,6 +50,65 @@ fn parse_kind(s: &str) -> Option<InjectKind> {
         "panic" => Some(InjectKind::Panic),
         _ => None,
     }
+}
+
+fn crash_point_name(p: CrashPoint) -> &'static str {
+    match p {
+        CrashPoint::WalAppend => "wal-append",
+        CrashPoint::PreCommit => "pre-commit",
+        CrashPoint::PostCommit => "post-commit",
+        CrashPoint::MidRecord => "mid-record",
+    }
+}
+
+fn parse_crash_point(s: &str) -> Option<CrashPoint> {
+    match s {
+        "wal-append" => Some(CrashPoint::WalAppend),
+        "pre-commit" => Some(CrashPoint::PreCommit),
+        "post-commit" => Some(CrashPoint::PostCommit),
+        "mid-record" => Some(CrashPoint::MidRecord),
+        _ => None,
+    }
+}
+
+fn torn_name(t: TornMode) -> &'static str {
+    match t {
+        TornMode::Truncate => "truncate",
+        TornMode::Flip => "flip",
+    }
+}
+
+/// Parse a CLI/replay torn-write mode: `truncate` or `flip`.
+pub fn parse_torn(s: &str) -> Result<TornMode, String> {
+    match s {
+        "truncate" => Ok(TornMode::Truncate),
+        "flip" => Ok(TornMode::Flip),
+        _ => Err(format!("unknown torn mode `{s}` (truncate|flip)")),
+    }
+}
+
+/// Parse a CLI/replay crash spec: `point[:after]` (`after` defaults to 1).
+pub fn parse_crash(s: &str) -> Result<CrashSpec, String> {
+    let (point_str, after) = match s.split_once(':') {
+        Some((p, a)) => (
+            p,
+            a.parse()
+                .map_err(|_| format!("bad crash consult index `{a}`"))?,
+        ),
+        None => (s, 1),
+    };
+    let point = parse_crash_point(point_str).ok_or_else(|| {
+        format!("unknown crash point `{point_str}` (wal-append|pre-commit|post-commit|mid-record)")
+    })?;
+    if after == 0 {
+        return Err("crash consult index must be >= 1 (0 never fires)".into());
+    }
+    Ok(CrashSpec { point, after })
+}
+
+/// Render a crash spec in the replay/CLI syntax.
+pub fn crash_string(c: &CrashSpec) -> String {
+    format!("{}:{}", crash_point_name(c.point), c.after)
 }
 
 /// Parse a CLI/replay fault spec: `point:kind:every[:max_hits]`.
@@ -113,6 +172,12 @@ pub fn write(cfg: &CheckConfig) -> String {
     if cfg.trace {
         out.push_str("trace=true\n");
     }
+    if let Some(crash) = &cfg.crash {
+        out.push_str(&format!("crash={}\n", crash_string(crash)));
+    }
+    if let Some(torn) = cfg.torn {
+        out.push_str(&format!("torn={}\n", torn_name(torn)));
+    }
     out
 }
 
@@ -152,11 +217,16 @@ pub fn parse(text: &str) -> Result<CheckConfig, String> {
             "ttl_ns" => cfg.ttl_ns = value.parse().map_err(|_| bad("ttl_ns"))?,
             "fault" => cfg.fault = Some(parse_fault(value)?),
             "trace" => cfg.trace = value.parse().map_err(|_| bad("trace"))?,
+            "crash" => cfg.crash = Some(parse_crash(value)?),
+            "torn" => cfg.torn = Some(parse_torn(value)?),
             _ => return Err(format!("line {}: unknown key `{key}`", lineno + 1)),
         }
     }
     if cfg.threads == 0 {
         return Err("threads must be >= 1".into());
+    }
+    if cfg.torn.is_some() && cfg.crash.is_none() {
+        return Err("torn= requires crash=".into());
     }
     Ok(cfg)
 }
@@ -188,6 +258,11 @@ mod tests {
                 max_hits: 3,
             }),
             trace: true,
+            crash: Some(CrashSpec {
+                point: CrashPoint::MidRecord,
+                after: 17,
+            }),
+            torn: Some(TornMode::Flip),
         };
         let text = write(&cfg);
         let parsed = parse(&text).expect("replay text must parse");
@@ -221,6 +296,40 @@ mod tests {
     }
 
     #[test]
+    fn crash_knobs_round_trip_byte_identical() {
+        // Every crash point × torn mode must survive parse → re-serialize
+        // with no drift, so a minimised crash replay reproduces the exact
+        // same torn tail bytes.
+        for point in [
+            CrashPoint::WalAppend,
+            CrashPoint::PreCommit,
+            CrashPoint::PostCommit,
+            CrashPoint::MidRecord,
+        ] {
+            for torn in [None, Some(TornMode::Truncate), Some(TornMode::Flip)] {
+                let cfg = CheckConfig {
+                    workload: Workload::Durable,
+                    crash: Some(CrashSpec { point, after: 12 }),
+                    torn,
+                    ..CheckConfig::default()
+                };
+                let text = write(&cfg);
+                let parsed = parse(&text).expect("replay text must parse");
+                assert_eq!(parsed, cfg);
+                assert_eq!(write(&parsed), text, "re-serialization drifted");
+            }
+        }
+        // Bare point: `after` defaults to 1.
+        assert_eq!(
+            parse_crash("pre-commit").unwrap(),
+            CrashSpec {
+                point: CrashPoint::PreCommit,
+                after: 1
+            }
+        );
+    }
+
+    #[test]
     fn parses_comments_and_defaults() {
         let cfg = parse("# comment\nworkload=snzi\nseed=9\n").unwrap();
         assert_eq!(cfg.workload, Workload::Snzi);
@@ -238,5 +347,13 @@ mod tests {
         assert!(parse_fault("begin:conflict").is_err());
         assert!(parse_fault("begin:conflict:x").is_err());
         assert!(parse_fault("begin:warp:3").is_err());
+        assert!(parse_crash("reboot:1").is_err());
+        assert!(parse_crash("wal-append:x").is_err());
+        assert!(parse_crash("wal-append:0").is_err());
+        assert!(parse_torn("rip").is_err());
+        assert!(
+            parse("workload=durable\ntorn=flip\n").is_err(),
+            "torn without crash must be rejected"
+        );
     }
 }

@@ -28,6 +28,7 @@
 pub mod shadow;
 
 mod bank;
+mod durable;
 mod hashmap;
 mod kyoto;
 mod nested;
@@ -79,10 +80,16 @@ pub enum Workload {
     /// Nested compound operations — a transfer *inside* a cache fill —
     /// exercising conflicting-region nesting and the grouping SNZI.
     Nested,
+    /// The durable Kyoto CacheDB behind its write-ahead log, with
+    /// crash-point fault injection: after a simulated crash the database
+    /// is recovered from the log and checked against the acked-operation
+    /// shadows — every acknowledged operation present, no unacknowledged
+    /// operation observable, seqs gapless up to the truncation point.
+    Durable,
 }
 
 impl Workload {
-    pub const ALL: [Workload; 10] = [
+    pub const ALL: [Workload; 11] = [
         Workload::HashMap,
         Workload::Kyoto,
         Workload::Bank,
@@ -93,6 +100,7 @@ impl Workload {
         Workload::Transfer,
         Workload::Registry,
         Workload::Nested,
+        Workload::Durable,
     ];
 
     /// The real-world scenario pack (the `--workload scenarios` group).
@@ -116,6 +124,7 @@ impl Workload {
             Workload::Transfer => "transfer",
             Workload::Registry => "registry",
             Workload::Nested => "nested",
+            Workload::Durable => "durable",
         }
     }
 
@@ -198,6 +207,7 @@ pub fn run(cfg: &CheckConfig) -> WorkloadOutcome {
         Workload::Transfer => transfer::run(cfg),
         Workload::Registry => registry::run(cfg),
         Workload::Nested => nested::run(cfg),
+        Workload::Durable => durable::run(cfg),
     }
 }
 

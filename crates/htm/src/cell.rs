@@ -141,6 +141,36 @@ impl<T: Copy> HtmCell<T> {
         }
     }
 
+    /// Best-effort seqlock-consistent read that charges **no virtual
+    /// time** and never waits: for `debug_assert!` conditions and `Debug`
+    /// impls only. Anything that ticks inside a `debug_assert!` makes
+    /// debug and release builds simulate different schedules, splitting
+    /// their determinism digests; and anything that *waits* without
+    /// ticking can livelock the cooperative simulator. So this neither
+    /// ticks nor waits: it returns `None` if the cell stays locked or
+    /// unstable for a few attempts (callers treat that as "unknown").
+    // ale-lint: htm-body — callable from inside transactions by design, so
+    // it must stay alloc/IO/park-free transitively.
+    pub fn try_peek(&self) -> Option<T> {
+        for _ in 0..8 {
+            let m1 = self.meta.load(Ordering::Acquire);
+            if is_locked(m1) {
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: racing reads are resolved by the version re-check:
+            // a value observed while m1 == m2 and unlocked was stable for
+            // the whole read (crossbeam seqlock technique).
+            let v = unsafe { std::ptr::read_volatile(self.value.get()) };
+            fence(Ordering::Acquire);
+            let m2 = self.meta.load(Ordering::Relaxed);
+            if m1 == m2 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
     /// Non-transactional store: lock the cell, write, release with a fresh
     /// global version (invalidating concurrent transactional readers).
     pub(crate) fn plain_store(&self, value: T) {
@@ -255,7 +285,7 @@ impl<T: Copy + Default> Default for HtmCell<T> {
 impl<T: Copy + std::fmt::Debug> std::fmt::Debug for HtmCell<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HtmCell")
-            .field("value", &self.load_consistent())
+            .field("value", &self.try_peek())
             .field("version", &ver_of(self.meta.load(Ordering::Relaxed)))
             .finish()
     }

@@ -149,6 +149,174 @@ impl InjectPlan {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Crash-point injection (process-death simulation)
+// ---------------------------------------------------------------------------
+
+/// A durability boundary where a simulated process death can be planted.
+///
+/// Unlike the abort faults above, a crash is not an event the program
+/// recovers from in place: once it fires, the "process" is dead — the
+/// durable-medium freeze in `ale-kyoto`'s WAL refuses further appends, the
+/// harness tears the in-memory state down, and only what the log had
+/// absorbed survives into recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Entry of a WAL append: the record is not yet durable.
+    WalAppend,
+    /// After the record is durable, before the in-memory commit.
+    PreCommit,
+    /// After the in-memory commit, before the caller is acknowledged.
+    PostCommit,
+    /// In the middle of writing the record bytes: the tail record is torn
+    /// (truncated or bit-flipped, per [`TornMode`]).
+    MidRecord,
+}
+
+/// What a [`CrashPoint::MidRecord`] crash leaves behind in the tail record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornMode {
+    /// Only a prefix of the record's bytes reached the medium.
+    Truncate,
+    /// All bytes landed, but some were corrupted in flight.
+    Flip,
+}
+
+/// A crash plan: die at the `after`-th consultation of `point`. Fires at
+/// most once process-wide (a process only dies once per run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    pub point: CrashPoint,
+    /// Fire on the `after`-th consult of `point` (1 = the first). 0 never
+    /// fires.
+    pub after: u64,
+    /// Tail-record damage for [`CrashPoint::MidRecord`] (`None` defaults
+    /// to [`TornMode::Truncate`]); ignored at the other points.
+    pub torn: Option<TornMode>,
+    /// Thread-scope token (see [`enter_scope`]). `None` = all threads.
+    pub scope: Option<u64>,
+}
+
+impl CrashPlan {
+    pub fn new(point: CrashPoint, after: u64) -> Self {
+        CrashPlan {
+            point,
+            after,
+            torn: None,
+            scope: None,
+        }
+    }
+
+    /// Choose the torn-write damage mode for mid-record crashes.
+    pub fn with_torn(mut self, torn: TornMode) -> Self {
+        self.torn = Some(torn);
+        self
+    }
+
+    /// Confine the plan to threads holding an [`enter_scope`] guard for
+    /// `token`.
+    pub fn scoped(mut self, token: u64) -> Self {
+        self.scope = Some(token);
+        self
+    }
+}
+
+/// Unwind payload for injected crashes. Raised by [`crash_at`] /
+/// [`crash_now`]; silenced by the process panic hook like
+/// [`InjectedPanic`]. Everything that catches it must treat the run's
+/// volatile state as lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedCrash;
+
+struct CrashState {
+    plan: CrashPlan,
+    /// Consults of the planned point so far.
+    count: u64,
+}
+
+static CRASH_ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Sticky "the process is dead" flag: set when the plan fires (or by
+/// [`crash_now`]), cleared only by [`install_crash`]/[`clear_crash`].
+static CRASHED: AtomicBool = AtomicBool::new(false);
+static CRASH_STATE: Mutex<Option<CrashState>> = Mutex::new(None);
+
+/// Install a crash plan process-wide, replacing any previous plan and
+/// clearing the [`crashed`] flag.
+pub fn install_crash(plan: CrashPlan) {
+    let mut g = CRASH_STATE.lock().unwrap_or_else(|p| p.into_inner());
+    *g = Some(CrashState { plan, count: 0 });
+    CRASHED.store(false, Ordering::Release);
+    CRASH_ACTIVE.store(plan.after > 0, Ordering::Release);
+}
+
+/// Remove the active crash plan and reset the [`crashed`] flag. Returns
+/// whether the plan fired.
+pub fn clear_crash() -> bool {
+    CRASH_ACTIVE.store(false, Ordering::Release);
+    let mut g = CRASH_STATE.lock().unwrap_or_else(|p| p.into_inner());
+    g.take();
+    CRASHED.swap(false, Ordering::AcqRel)
+}
+
+/// Has the planned crash fired? After this turns true the simulated
+/// process is dead: the WAL freezes, and harness lanes stop issuing work.
+#[inline]
+pub fn crashed() -> bool {
+    CRASHED.load(Ordering::Acquire)
+}
+
+/// Die now: mark the process crashed and unwind with [`InjectedCrash`].
+pub fn crash_now() -> ! {
+    CRASHED.store(true, Ordering::Release);
+    std::panic::panic_any(InjectedCrash)
+}
+
+/// Consult the plan at `point`; fires at most once. `Some(torn)` = the
+/// plan fires *here*: the state is already marked crashed, and the caller
+/// must apply the torn damage (mid-record only) and then [`crash_now`].
+fn crash_fire(point: CrashPoint) -> Option<Option<TornMode>> {
+    let mut g = CRASH_STATE.lock().unwrap_or_else(|p| p.into_inner());
+    let st = g.as_mut()?;
+    if CRASHED.load(Ordering::Relaxed) || st.plan.point != point {
+        return None;
+    }
+    if let Some(token) = st.plan.scope {
+        if SCOPE.with(|s| s.get()) != token {
+            return None;
+        }
+    }
+    st.count += 1;
+    if st.count >= st.plan.after {
+        CRASHED.store(true, Ordering::Release);
+        return Some(st.plan.torn);
+    }
+    None
+}
+
+/// Consult the crash plan at a whole-record boundary
+/// ([`CrashPoint::WalAppend`], [`CrashPoint::PreCommit`],
+/// [`CrashPoint::PostCommit`]). Does not return if the plan fires.
+#[inline]
+pub fn crash_at(point: CrashPoint) {
+    if !CRASH_ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    if crash_fire(point).is_some() {
+        std::panic::panic_any(InjectedCrash)
+    }
+}
+
+/// Consult the crash plan mid-record-write. `Some(mode)` = the plan fires:
+/// the caller must write the torn bytes (per `mode`) to the durable medium
+/// and then call [`crash_now`].
+#[inline]
+pub fn crash_at_mid_record() -> Option<TornMode> {
+    if !CRASH_ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    crash_fire(CrashPoint::MidRecord).map(|t| t.unwrap_or(TornMode::Truncate))
+}
+
 thread_local! {
     /// The calling thread's ambient injection scope (0 = unscoped).
     static SCOPE: Cell<u64> = const { Cell::new(0) };
@@ -440,6 +608,77 @@ mod tests {
             "dropping the guard must restore the previous scope"
         );
         assert_eq!(clear(), 1);
+    }
+
+    #[test]
+    fn crash_plan_fires_once_at_the_planned_consult() {
+        let _g = serial();
+        crate::txn::init_panic_hook();
+        install_crash(CrashPlan::new(CrashPoint::PreCommit, 3));
+        assert!(!crashed());
+        crash_at(CrashPoint::PreCommit); // 1
+        crash_at(CrashPoint::WalAppend); // other points don't count
+        crash_at(CrashPoint::PreCommit); // 2
+        assert!(!crashed());
+        let died = std::panic::catch_unwind(|| crash_at(CrashPoint::PreCommit)); // 3
+        let payload = died.expect_err("the third consult must fire");
+        assert!(payload.downcast_ref::<InjectedCrash>().is_some());
+        assert!(crashed(), "firing must mark the process dead");
+        // One-shot: further consults are inert on the dead process.
+        crash_at(CrashPoint::PreCommit);
+        assert!(clear_crash(), "clear must report the plan fired");
+        assert!(!crashed());
+        crash_at(CrashPoint::PreCommit); // no plan installed: inert
+        assert!(!clear_crash());
+    }
+
+    #[test]
+    fn mid_record_crash_returns_torn_mode_for_the_caller() {
+        let _g = serial();
+        crate::txn::init_panic_hook();
+        install_crash(CrashPlan::new(CrashPoint::MidRecord, 1).with_torn(TornMode::Flip));
+        let mode = crash_at_mid_record();
+        assert_eq!(mode, Some(TornMode::Flip));
+        assert!(
+            crashed(),
+            "a firing mid-record consult marks the process dead before the caller corrupts"
+        );
+        let died = std::panic::catch_unwind(|| crash_now());
+        assert!(died
+            .expect_err("crash_now must unwind")
+            .downcast_ref::<InjectedCrash>()
+            .is_some());
+        assert!(clear_crash());
+        // Default damage mode is Truncate.
+        install_crash(CrashPlan::new(CrashPoint::MidRecord, 1));
+        assert_eq!(crash_at_mid_record(), Some(TornMode::Truncate));
+        assert!(clear_crash());
+    }
+
+    #[test]
+    fn scoped_crash_only_fires_inside_matching_scope() {
+        let _g = serial();
+        crate::txn::init_panic_hook();
+        install_crash(CrashPlan::new(CrashPoint::WalAppend, 1).scoped(0xD1E));
+        crash_at(CrashPoint::WalAppend); // unscoped thread: not counted
+        assert!(!crashed());
+        {
+            let _scope = enter_scope(0xD1E);
+            let died = std::panic::catch_unwind(|| crash_at(CrashPoint::WalAppend));
+            assert!(died.is_err(), "matching scope must die");
+        }
+        assert!(clear_crash());
+    }
+
+    #[test]
+    fn zero_after_never_fires() {
+        let _g = serial();
+        install_crash(CrashPlan::new(CrashPoint::PostCommit, 0));
+        for _ in 0..10 {
+            crash_at(CrashPoint::PostCommit);
+        }
+        assert!(!crashed());
+        assert!(!clear_crash());
     }
 
     #[test]

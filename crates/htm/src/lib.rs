@@ -65,6 +65,9 @@ pub mod txn;
 
 pub use abort::{AbortCode, AbortStatus};
 pub use cell::HtmCell;
-pub use inject::{InjectKind, InjectPlan, InjectPoint, InjectRule, InjectedPanic};
+pub use inject::{
+    CrashPlan, CrashPoint, InjectKind, InjectPlan, InjectPoint, InjectRule, InjectedCrash,
+    InjectedPanic, TornMode,
+};
 pub use storm::{htm_supported, BreakerConfig, BreakerState, BreakerTransition, StormBreaker};
 pub use txn::{attempt, explicit_abort, in_txn, init_panic_hook, read_set_len, write_set_len};

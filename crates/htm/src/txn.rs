@@ -83,6 +83,7 @@ fn init_hook() {
             let p = info.payload();
             if p.downcast_ref::<TxAbortUnwind>().is_none()
                 && p.downcast_ref::<crate::inject::InjectedPanic>().is_none()
+                && p.downcast_ref::<crate::inject::InjectedCrash>().is_none()
             {
                 prev(info);
             }

@@ -136,6 +136,30 @@ impl AleCacheDb {
         Ok(false)
     }
 
+    /// The external readers-writer lock's metadata (poison inspection and
+    /// fault-injection targeting in tests).
+    pub fn external_meta(&self) -> &Arc<LockMeta> {
+        &self.outer_meta
+    }
+
+    /// A slot lock's metadata (poison inspection and fault-injection
+    /// targeting in tests). Panics if `slot >= SLOT_NUM`.
+    pub fn slot_meta(&self, slot: usize) -> &Arc<LockMeta> {
+        self.slots[slot].lock.meta()
+    }
+
+    /// Clear the poison flag on every lock in the database — the first step
+    /// of [`crate::wal::DurableCacheDb::heal`]'s rebuild-from-log recovery.
+    /// On its own this re-exposes whatever half-finished state the
+    /// poisoning panic left behind; callers must rebuild before trusting
+    /// the contents.
+    pub fn clear_all_poison(&self) {
+        self.mlock.clear_poison();
+        for ds in &self.slots {
+            ds.lock.clear_poison();
+        }
+    }
+
     /// Are all slot versions even (no conflicting region left open)?
     /// ale-check's post-run oracle: an odd version after quiescence would
     /// wedge every future optimistic reader.

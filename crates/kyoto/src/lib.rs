@@ -22,9 +22,14 @@
 pub mod ale_db;
 pub mod db;
 pub mod trylockspin;
+pub mod wal;
 pub mod wicked;
 
 pub use ale_db::{AleCacheDb, DbConfig};
 pub use db::{slot_of, KyotoDb, Slot, Value, SLOT_NUM};
 pub use trylockspin::TrylockspinDb;
+pub use wal::{
+    recover, scan, DurableCacheDb, FrameError, RecoveryReport, ScanResult, Wal, WalOp, WalRecord,
+    RECORD_BYTES,
+};
 pub use wicked::{prefill, value_for, wicked_op, wicked_run, WickedConfig, WickedOp, WickedStats};

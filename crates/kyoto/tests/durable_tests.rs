@@ -1,0 +1,219 @@
+//! Integration tests for the durable CacheDB: log → commit → ack protocol,
+//! crash-point recovery, torn-tail truncation, and lock-poison healing.
+#![cfg(not(any(
+    feature = "mut-wal-ack-before-durable",
+    feature = "mut-recovery-skip-checksum"
+)))]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ale_core::{Ale, AleConfig, StaticPolicy};
+use ale_htm::inject::{clear_crash, crashed, install_crash, CrashPlan, CrashPoint, TornMode};
+use ale_htm::InjectedCrash;
+use ale_kyoto::{recover, DbConfig, DurableCacheDb, KyotoDb, Wal};
+use ale_vtime::Platform;
+
+/// The crash plan is process-global; tests that arm it must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn db_with(seed: u64) -> (Arc<Ale>, DurableCacheDb, Arc<Wal>) {
+    let ale = Ale::new(
+        AleConfig::new(Platform::testbed()).with_seed(seed),
+        StaticPolicy::new(3, 8),
+    );
+    let wal = Arc::new(Wal::new());
+    let db = DurableCacheDb::new(
+        &ale,
+        DbConfig {
+            buckets_per_slot: 64,
+            capacity_per_slot: 4096,
+            payload_cells: 0,
+        },
+        Arc::clone(&wal),
+    );
+    (ale, db, wal)
+}
+
+fn fresh_recover(seed: u64, wal: &Arc<Wal>) -> (DurableCacheDb, ale_kyoto::RecoveryReport) {
+    let ale = Ale::new(
+        AleConfig::new(Platform::testbed()).with_seed(seed),
+        StaticPolicy::new(3, 8),
+    );
+    recover(
+        &ale,
+        DbConfig {
+            buckets_per_slot: 64,
+            capacity_per_slot: 4096,
+            payload_cells: 0,
+        },
+        Arc::clone(wal),
+    )
+}
+
+#[test]
+fn crash_free_recovery_reproduces_the_database() {
+    let _guard = serial();
+    clear_crash();
+    let (_ale, db, wal) = db_with(1);
+    for k in 0..40u64 {
+        db.set(k, k * 100 + 7);
+    }
+    for k in (0..40u64).step_by(3) {
+        db.remove(k);
+    }
+    db.set(5, 999);
+
+    let (rdb, rep) = fresh_recover(2, &wal);
+    assert!(rep.gapless);
+    assert_eq!(rep.truncated, 0);
+    assert_eq!(rep.ignored, 0);
+    for k in 0..40u64 {
+        assert_eq!(rdb.get(k), db.get(k), "key {k} diverged after recovery");
+    }
+    assert_eq!(rdb.count(), db.count());
+    assert!(rdb.versions_even());
+}
+
+#[test]
+fn pre_commit_crash_keeps_the_durable_record() {
+    let _guard = serial();
+    clear_crash();
+    let (_ale, db, wal) = db_with(3);
+    install_crash(CrashPlan::new(CrashPoint::PreCommit, 3));
+    let mut acked = Vec::new();
+    let mut killed = None;
+    for k in 1..=10u64 {
+        match catch_unwind(AssertUnwindSafe(|| db.set(k, k + 500))) {
+            Ok(_) => acked.push(k),
+            Err(p) => {
+                assert!(p.downcast_ref::<InjectedCrash>().is_some());
+                if killed.is_none() {
+                    killed = Some(k);
+                }
+            }
+        }
+    }
+    assert!(crashed());
+    assert_eq!(acked, vec![1, 2]);
+    assert_eq!(killed, Some(3));
+    clear_crash();
+
+    let (rdb, rep) = fresh_recover(4, &wal);
+    // A pre-commit crash fires *after* the record became durable: the
+    // killed operation must be recovered even though it never committed
+    // in the dead process (it was simply never acknowledged).
+    assert!(rep.gapless);
+    assert_eq!(rep.applied, 3);
+    for &k in &acked {
+        assert_eq!(rdb.get(k), Some(k + 500), "acked key {k} lost");
+    }
+    assert_eq!(rdb.get(3), Some(503));
+    assert_eq!(rdb.get(4), None, "post-crash append must not be durable");
+    assert_eq!(rdb.count(), 3);
+}
+
+#[test]
+fn mid_record_crash_truncates_the_torn_tail() {
+    let _guard = serial();
+    clear_crash();
+    let (_ale, db, wal) = db_with(5);
+    install_crash(CrashPlan::new(CrashPoint::MidRecord, 3).with_torn(TornMode::Truncate));
+    for k in 1..=6u64 {
+        let _ = catch_unwind(AssertUnwindSafe(|| db.set(k, k)));
+    }
+    assert!(crashed());
+    clear_crash();
+
+    let (rdb, rep) = fresh_recover(6, &wal);
+    assert!(rep.gapless);
+    assert_eq!(rep.applied, 2);
+    assert_eq!(rep.truncated, 1, "the torn record is dropped, not applied");
+    assert_eq!(rdb.get(3), None);
+    assert_eq!(rdb.count(), 2);
+
+    // The medium was rewound to the trusted prefix: post-recovery appends
+    // continue with gapless seqs and survive the next recovery.
+    rdb.set(99, 4242);
+    let (rdb2, rep2) = fresh_recover(7, &wal);
+    assert!(rep2.gapless);
+    assert_eq!(rep2.applied, 3);
+    assert_eq!(rdb2.get(99), Some(4242));
+}
+
+#[test]
+fn flip_torn_tail_is_rejected_by_checksum() {
+    let _guard = serial();
+    clear_crash();
+    let (_ale, db, wal) = db_with(8);
+    install_crash(CrashPlan::new(CrashPoint::MidRecord, 2).with_torn(TornMode::Flip));
+    for k in 1..=4u64 {
+        let _ = catch_unwind(AssertUnwindSafe(|| db.set(k, k)));
+    }
+    assert!(crashed());
+    clear_crash();
+
+    // The flipped record is complete (valid marker, valid length) but its
+    // checksum fails — recovery must truncate it, never apply it.
+    let (rdb, rep) = fresh_recover(9, &wal);
+    assert!(rep.gapless);
+    assert_eq!(rep.applied, 1);
+    assert_eq!(rep.truncated, 1);
+    assert_eq!(rdb.count(), 1);
+}
+
+#[test]
+fn frozen_wal_rejects_posthumous_appends() {
+    let _guard = serial();
+    clear_crash();
+    let (_ale, db, wal) = db_with(10);
+    db.set(1, 1);
+    install_crash(CrashPlan::new(CrashPoint::WalAppend, 1));
+    assert!(catch_unwind(AssertUnwindSafe(|| db.set(2, 2))).is_err());
+    let len_at_death = wal.len();
+    // The process is dead: nothing may extend its log, even with the plan
+    // exhausted.
+    assert!(catch_unwind(AssertUnwindSafe(|| db.set(3, 3))).is_err());
+    assert!(catch_unwind(AssertUnwindSafe(|| db.remove(1))).is_err());
+    assert_eq!(wal.len(), len_at_death);
+    clear_crash();
+}
+
+#[test]
+fn lock_poison_heals_and_preserves_acked_data() {
+    let _guard = serial();
+    clear_crash();
+    ale_core::init_panic_hook();
+    let (_ale, db, _wal) = db_with(11);
+    for k in 0..20u64 {
+        db.set(k, k + 1000);
+    }
+    db.remove(7);
+
+    // A panicking critical section elsewhere poisoned the external lock
+    // and a slot lock. The next operation must heal (clear poison, rebuild
+    // from the log) instead of wedging every client forever.
+    db.inner().external_meta().poison();
+    db.inner().slot_meta(3).poison();
+    assert!(db.inner().external_meta().is_poisoned());
+
+    assert_eq!(db.get(4), Some(1004), "reader must heal a poisoned db");
+    assert!(!db.inner().external_meta().is_poisoned());
+    assert!(!db.inner().slot_meta(3).is_poisoned());
+    for k in 0..20u64 {
+        let expect = (k != 7).then_some(k + 1000);
+        assert_eq!(db.get(k), expect, "key {k} damaged by healing");
+    }
+    assert_eq!(db.count(), 19);
+    assert!(db.versions_even());
+
+    // Writers heal too.
+    db.inner().external_meta().poison();
+    db.set(7, 7777);
+    assert_eq!(db.get(7), Some(7777));
+    assert_eq!(db.count(), 20);
+}

@@ -95,7 +95,7 @@ impl RawLock for TicketLock {
 
 impl std::fmt::Debug for TicketLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (next, serving) = self.state.load_consistent();
+        let (next, serving) = self.state.try_peek().unwrap_or((0, 0));
         f.debug_struct("TicketLock")
             .field("next", &next)
             .field("serving", &serving)

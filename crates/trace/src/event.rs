@@ -34,6 +34,14 @@ pub enum EventKind {
     StallClear = 6,
     /// A lock was poisoned by a panicking critical section.
     LockPoison = 7,
+    /// A WAL record reached the durable medium; `a` = op code,
+    /// payload = record sequence number.
+    WalFsync = 8,
+    /// Recovery replayed the log; payload = records applied.
+    RecoveryApplied = 9,
+    /// Recovery truncated a torn/corrupt log tail; payload = records
+    /// dropped, `a` = records ignored (compensated), clamped to 255.
+    RecoveryTruncated = 10,
 }
 
 impl EventKind {
@@ -46,6 +54,9 @@ impl EventKind {
             5 => EventKind::StallWarn,
             6 => EventKind::StallClear,
             7 => EventKind::LockPoison,
+            8 => EventKind::WalFsync,
+            9 => EventKind::RecoveryApplied,
+            10 => EventKind::RecoveryTruncated,
             _ => return None,
         })
     }
@@ -59,6 +70,9 @@ impl EventKind {
             EventKind::StallWarn => "stall_warn",
             EventKind::StallClear => "stall_clear",
             EventKind::LockPoison => "lock_poison",
+            EventKind::WalFsync => "wal_fsync",
+            EventKind::RecoveryApplied => "recovery_applied",
+            EventKind::RecoveryTruncated => "recovery_truncated",
         }
     }
 }
@@ -177,6 +191,29 @@ impl TraceEvent {
         TraceEvent::new(EventKind::LockPoison, label, 0, 0, 0, 0)
     }
 
+    /// A write-ahead-log record became durable (`op` = WAL op code).
+    pub fn wal_fsync(label: u16, op: u8, seq: u64) -> TraceEvent {
+        TraceEvent::new(EventKind::WalFsync, label, op, 0, 0, seq)
+    }
+
+    /// Recovery replayed `applied` records from the log.
+    pub fn recovery_applied(label: u16, applied: u64) -> TraceEvent {
+        TraceEvent::new(EventKind::RecoveryApplied, label, 0, 0, 0, applied)
+    }
+
+    /// Recovery dropped `truncated` torn/corrupt tail records (`ignored`
+    /// additionally read-but-skipped, clamped to 255).
+    pub fn recovery_truncated(label: u16, truncated: u64, ignored: u64) -> TraceEvent {
+        TraceEvent::new(
+            EventKind::RecoveryTruncated,
+            label,
+            ignored.min(255) as u8,
+            0,
+            0,
+            truncated,
+        )
+    }
+
     /// The event's kind, if the discriminant is valid (it always is for
     /// events produced by the constructors above).
     pub fn kind(&self) -> Option<EventKind> {
@@ -215,6 +252,9 @@ mod tests {
             EventKind::StallWarn,
             EventKind::StallClear,
             EventKind::LockPoison,
+            EventKind::WalFsync,
+            EventKind::RecoveryApplied,
+            EventKind::RecoveryTruncated,
         ] {
             assert_eq!(EventKind::from_u8(k as u8), Some(k));
             assert!(!k.name().is_empty());
@@ -235,6 +275,16 @@ mod tests {
         let ph = TraceEvent::phase_transition(2, 5, 9);
         assert_eq!(ph.payload, (5 << 32) | 9);
         assert_eq!(TraceEvent::lock_poison(7).label, 7);
+        let ws = TraceEvent::wal_fsync(4, 1, 77);
+        assert_eq!(ws.kind(), Some(EventKind::WalFsync));
+        assert_eq!((ws.a, ws.payload), (1, 77));
+        assert_eq!(
+            TraceEvent::recovery_applied(4, 12).kind(),
+            Some(EventKind::RecoveryApplied)
+        );
+        let rt = TraceEvent::recovery_truncated(4, 2, 300);
+        assert_eq!(rt.kind(), Some(EventKind::RecoveryTruncated));
+        assert_eq!((rt.payload, rt.a), (2, 255));
     }
 
     #[test]
