@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use ale_bench::harness::{run_hashmap, HashMapWorkload, BENCH_SLACK_NS};
+use ale_bench::harness::{run_hashmap, run_sharded, HashMapWorkload, BENCH_SLACK_NS};
 use ale_bench::{run_storm, StormConfig, Variant};
 use ale_core::{Ale, AleConfig, StaticPolicy};
 use ale_kyoto::{
@@ -190,6 +190,106 @@ fn fig2_cell_section(opts: &Opts) -> String {
     )
 }
 
+/// Sharded vs single-lock cell: the mutate-heavy mix at 1/4/8 shards,
+/// uniform and Zipf(1.1) keys, under the software-elision configuration
+/// (SWOpt + Lock, HTM off — the same focus as ale-check's shard
+/// workload; on Haswell the adaptive policy sends nearly everything to
+/// HTM, where neither the global version word nor the global lock is
+/// ever contended, so the paths sharding improves would not execute).
+///
+/// The initial table is deliberately undersized (512 buckets for a 16 K
+/// key space), which is exactly the situation the new subsystem exists
+/// for: the sharded map's incremental resize grows each shard out of the
+/// long chains, its per-shard locks confine Lock-mode serialisation, and
+/// its per-shard version words confine SWOpt invalidation — while the
+/// fixed-size single-lock `AleHashMap` can do none of the three. The
+/// committed shape gate: under Zipf(1.1) skew the 8-shard map must beat
+/// the single-lock map.
+fn sharded_section(opts: &Opts) -> String {
+    let threads = 8;
+    let (ops, warmup) = if opts.quick {
+        (1_500, 200)
+    } else {
+        (6_000, 600)
+    };
+    let mut cells = Vec::new();
+    let mut gate: Option<(f64, f64)> = None;
+    for (skew, zipf) in [("uniform", None), ("zipf-1.1", Some(1.1))] {
+        let mut w = HashMapWorkload::mutate_heavy(16 * 1024).with_buckets(512);
+        if let Some(theta) = zipf {
+            w = w.with_zipf(theta);
+        }
+        let single = run_hashmap(
+            Platform::haswell(),
+            Variant::StaticAll(0, 6),
+            threads,
+            &w,
+            ops,
+            warmup,
+            opts.seed,
+        );
+        eprintln!(
+            "  sharded cell: {skew} single-lock: {:.3} Mops/s",
+            single.mops
+        );
+        cells.push(format!(
+            "{{ \"variant\": \"{}\", \"skew\": \"{skew}\", \"shards\": 0, \
+             \"makespan_ns\": {}, \"mops\": {:.4} }}",
+            single.variant, single.makespan_ns, single.mops
+        ));
+        let mut mops8 = 0.0;
+        for shards in [1usize, 4, 8] {
+            let r = run_sharded(
+                Platform::haswell(),
+                Variant::StaticAll(0, 6),
+                threads,
+                shards,
+                &w,
+                ops,
+                warmup,
+                opts.seed,
+            );
+            eprintln!(
+                "  sharded cell: {skew} {} shard(s): {:.3} Mops/s",
+                shards, r.mops
+            );
+            cells.push(format!(
+                "{{ \"variant\": \"{}\", \"skew\": \"{skew}\", \"shards\": {shards}, \
+                 \"makespan_ns\": {}, \"mops\": {:.4} }}",
+                r.variant, r.makespan_ns, r.mops
+            ));
+            if shards == 8 {
+                mops8 = r.mops;
+            }
+        }
+        if zipf.is_some() {
+            gate = Some((mops8, single.mops));
+        }
+    }
+    let (mops8, single_mops) = gate.expect("zipf leg always runs");
+    assert!(
+        mops8 > single_mops,
+        "shape gate: 8-shard map ({mops8:.4} Mops/s) must beat the single-lock \
+         map ({single_mops:.4} Mops/s) under Zipf(1.1) at {threads} lanes"
+    );
+    format!(
+        concat!(
+            "{{\n",
+            "    \"platform\": \"haswell\",\n",
+            "    \"mix\": \"20i/20r/60g\",\n",
+            "    \"threads\": {},\n",
+            "    \"cells\": [\n",
+            "      {}\n",
+            "    ],\n",
+            "    \"zipf_speedup_8shard_vs_single\": {:.4}\n",
+            "  }}"
+        ),
+        threads,
+        cells.join(",\n      "),
+        mops8 / single_mops,
+    )
+}
+
 fn storm_section(opts: &Opts) -> String {
     let r = run_storm(&StormConfig::quick(Platform::haswell(), 4, true, opts.seed));
     eprintln!(
@@ -249,6 +349,7 @@ fn main() {
         if opts.quick { "quick" } else { "full" }
     );
     let fig2 = fig2_cell_section(&opts);
+    let sharded = sharded_section(&opts);
     let storm = storm_section(&opts);
     let durability = durability_section(&opts);
 
@@ -259,11 +360,12 @@ fn main() {
             "  \"seed\": {},\n",
             "  \"quick\": {},\n",
             "  \"fig2_cell\": {},\n",
+            "  \"sharded\": {},\n",
             "  \"storm_recovery\": {},\n",
             "  \"durability\": {}\n",
             "}}\n"
         ),
-        opts.seed, opts.quick, fig2, storm, durability
+        opts.seed, opts.quick, fig2, sharded, storm, durability
     );
     print!("{json}");
     if let Some(path) = &opts.out {

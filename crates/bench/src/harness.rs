@@ -8,7 +8,7 @@
 //! variants get the same warm-up for symmetry.
 
 use ale_core::Report;
-use ale_hashmap::{AleHashMap, BaselineHashMap, MapConfig};
+use ale_hashmap::{AleHashMap, AleShardedMap, BaselineHashMap, MapConfig, ShardedMapConfig};
 use ale_kyoto::{AleCacheDb, DbConfig, KyotoDb, TrylockspinDb, WickedConfig};
 use ale_vtime::{Platform, Rng, Sim, Zipf};
 
@@ -309,6 +309,100 @@ pub fn run_hashmap_mods(
     }
 }
 
+/// Execute the HashMap microbenchmark against the *sharded* map: the same
+/// op mix as [`run_hashmap`], but keys route across `shards` independent
+/// granules. Total buckets and node capacity match what the single-lock
+/// run would get, so a throughput difference is the locking granularity —
+/// per-shard version stripes confine write invalidation to the written
+/// shard's optimistic readers, where the single-lock map (at
+/// `version_stripes = 1`) invalidates every concurrent SWOpt reader on
+/// every write. Incremental resize stays armed at the default threshold:
+/// an undersized initial table grows out of its long chains during
+/// prefill and warm-up (something the single-lock map cannot do), and by
+/// the measured pass the map is at steady state — runs stay deterministic
+/// either way.
+///
+/// `variant` must be an instrumented flavour — the sharded map is an ALE
+/// structure and has no uninstrumented baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded(
+    platform: Platform,
+    variant: Variant,
+    threads: usize,
+    shards: usize,
+    workload: &HashMapWorkload,
+    ops_per_lane: u64,
+    warmup_per_lane: u64,
+    seed: u64,
+) -> RunResult {
+    assert!(
+        variant != Variant::Uninstrumented,
+        "the sharded map has no uninstrumented baseline"
+    );
+    let kind = platform.kind.name();
+    let total_buckets = workload
+        .buckets
+        .unwrap_or((workload.key_space as usize / 4).clamp(64, 1 << 16));
+    let buckets_per_shard = (total_buckets / shards).max(4);
+
+    let ale = variant.build_ale_mods(platform.clone(), seed, Mods::default());
+    let map: AleShardedMap<u64> = AleShardedMap::new(
+        &ale,
+        ShardedMapConfig::new(shards)
+            .with_buckets_per_shard(buckets_per_shard)
+            .with_capacity_per_shard((workload.key_space * 2) / shards as u64 + 4096)
+            .with_version_stripes(workload.version_stripes),
+    );
+    for k in (0..workload.key_space).step_by(2) {
+        map.insert(k, k.wrapping_mul(31));
+    }
+    ale.reset_statistics();
+    let zipf = workload.key_sampler();
+    let body = |lane: &mut ale_vtime::Lane, ops: u64| {
+        let mut rng = lane.rng().clone();
+        let mut sink = 0u64;
+        for _ in 0..ops {
+            workload.run_op(
+                zipf.as_ref(),
+                &mut rng,
+                &mut |k| {
+                    let mut v = 0;
+                    if map.get(k, &mut v) {
+                        sink ^= v;
+                    }
+                },
+                &mut |k| {
+                    map.insert(k, k.wrapping_mul(31));
+                },
+                &mut |k| {
+                    map.remove(k);
+                },
+            );
+        }
+        std::hint::black_box(sink);
+    };
+    if warmup_per_lane > 0 {
+        Sim::new(platform.clone(), threads)
+            .with_seed(seed)
+            .with_slack(BENCH_SLACK_NS)
+            .run(|lane| body(lane, warmup_per_lane));
+    }
+    let report = Sim::new(platform, threads)
+        .with_seed(seed ^ 0xBEEF)
+        .with_slack(BENCH_SLACK_NS)
+        .run(|lane| body(lane, ops_per_lane));
+    let total = ops_per_lane * threads as u64;
+    RunResult {
+        variant: format!("Sharded{}x-{}", map.shard_count(), variant.name()),
+        platform: kind,
+        threads,
+        total_ops: total,
+        makespan_ns: report.makespan_ns,
+        mops: report.throughput(total) / 1e6,
+        report: Some(ale.report()),
+    }
+}
+
 /// Execute the Kyoto `wicked` benchmark.
 pub fn run_kyoto(
     platform: Platform,
@@ -435,6 +529,33 @@ mod tests {
             2,
         );
         assert!(base.mops > 0.0);
+    }
+
+    #[test]
+    fn sharded_runner_produces_throughput_and_is_deterministic() {
+        let w = HashMapWorkload::read_heavy(512).with_zipf(1.1);
+        let run = || {
+            run_sharded(
+                Platform::testbed(),
+                Variant::StaticAll(3, 8),
+                2,
+                4,
+                &w,
+                300,
+                50,
+                1,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(a.mops > 0.0, "{a:?}");
+        assert_eq!(a.total_ops, 600);
+        assert_eq!(
+            a.makespan_ns, b.makespan_ns,
+            "sharded run not deterministic"
+        );
+        assert!(a.variant.starts_with("Sharded4x-"), "{}", a.variant);
+        assert!(a.report.is_some());
     }
 
     #[test]

@@ -179,6 +179,14 @@ pub struct CheckConfig {
     /// Entry lifetime base for the TTL-cache workload, in virtual
     /// nanoseconds (each fill adds a seeded jitter on top).
     pub ttl_ns: u64,
+    /// Zipfian read-skew for the sharded-map workload, as `theta * 1000`
+    /// (`1100` = the benchmarks' Zipf(1.1); `0` = uniform). Stored in
+    /// permille so replay files round-trip exactly and the minimiser can
+    /// bisect the skew like any other integer knob.
+    pub zipf_milli: u64,
+    /// Shard count for the sharded-map workload (rounded up to a power of
+    /// two by the map itself).
+    pub shards: usize,
     pub fault: Option<FaultSpec>,
     /// Run with `ale-trace` event recording on (full sampling). Adds the
     /// trace oracle — every completed critical section must have emitted a
@@ -218,6 +226,10 @@ impl Default for CheckConfig {
             // expire mid-run, so reads race eviction instead of always
             // hitting fresh or always hitting dead state.
             ttl_ns: 800,
+            // Zipf(1.1) by default: skew is what makes per-shard routing
+            // interesting, and uniform remains reachable with --zipf 0.
+            zipf_milli: 1100,
+            shards: 4,
             fault: None,
             trace: false,
             crash: None,
@@ -499,6 +511,10 @@ pub fn active_mutation() -> Option<&'static str> {
         Some("mut-wal-ack-before-durable")
     } else if cfg!(feature = "mut-recovery-skip-checksum") {
         Some("mut-recovery-skip-checksum")
+    } else if cfg!(feature = "mut-resize-skip-republish") {
+        Some("mut-resize-skip-republish")
+    } else if cfg!(feature = "mut-shard-route-stale") {
+        Some("mut-shard-route-stale")
     } else {
         None
     }
@@ -518,6 +534,8 @@ pub fn workload_for_mutation(mutation: &str) -> Workload {
         "mut-reorder-publish" => Workload::Registry,
         // Both durability mutations need the WAL + crash-point oracles.
         "mut-wal-ack-before-durable" | "mut-recovery-skip-checksum" => Workload::Durable,
+        // Both resize mutations only bite while a shard migration is live.
+        "mut-resize-skip-republish" | "mut-shard-route-stale" => Workload::Shard,
         // Both hashmap mutations break SWOpt-reader integrity.
         _ => Workload::HashMap,
     }

@@ -44,15 +44,17 @@ struct Args {
 fn usage() -> &'static str {
     "usage: ale-check [selftest] [--seeds N] [--strategy S|all] [--workload W|all|scenarios]\n\
      \t[--threads N] [--ops N] [--platform P] [--chaos NS] [--window NS]\n\
-     \t[--permille N] [--reorder NS] [--ttl NS]\n\
+     \t[--permille N] [--reorder NS] [--ttl NS] [--zipf S] [--shards N]\n\
      \t[--fault point:kind:every[:max_hits]] [--seed-base N]\n\
      \t[--crash point[:after]] [--torn truncate|flip]\n\
      \t[--trace] [--out DIR] [--replay FILE]\n\
      strategies: lowest-clock random-walk preempt most-conflicting reorder\n\
-     workloads:  hashmap kyoto bank snzi panic ttl queue transfer registry nested durable\n\
+     workloads:  hashmap kyoto bank snzi panic ttl queue transfer registry nested durable shard\n\
      \t(`scenarios` = the real-world pack: ttl queue transfer registry nested)\n\
      platforms:  testbed haswell rock t2\n\
-     crash pts:  wal-append pre-commit post-commit mid-record (durable workload)"
+     crash pts:  wal-append pre-commit post-commit mid-record (durable workload)\n\
+     shard map:  --zipf S = Zipfian read skew theta (e.g. 1.1; 0 = uniform),\n\
+     \t--shards N = shard count (power of two)"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -149,6 +151,24 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--ttl must be >= 1".into());
                 }
             }
+            "--zipf" => {
+                let theta: f64 = value("--zipf")?
+                    .parse()
+                    .map_err(|_| "bad --zipf".to_string())?;
+                if !theta.is_finite() || theta < 0.0 {
+                    return Err("--zipf must be a finite theta >= 0".into());
+                }
+                // Stored in milli-theta so replay files round-trip exactly.
+                args.base.zipf_milli = (theta * 1000.0).round() as u64;
+            }
+            "--shards" => {
+                args.base.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards".to_string())?;
+                if args.base.shards == 0 {
+                    return Err("--shards must be >= 1".into());
+                }
+            }
             "--fault" => args.base.fault = Some(replay::parse_fault(&value("--fault")?)?),
             "--crash" => args.base.crash = Some(replay::parse_crash(&value("--crash")?)?),
             "--torn" => args.base.torn = Some(replay::parse_torn(&value("--torn")?)?),
@@ -197,12 +217,17 @@ fn report_failure(cfg: &CheckConfig, outcome: &ale_check::RunOutcome, out_dir: &
     let (final_cfg, note) = match minimize::minimize(cfg, outcome) {
         Some(min) => {
             eprintln!(
-                "minimised in {} runs: perturb_limit {} -> {}{}{}",
+                "minimised in {} runs: perturb_limit {} -> {}{}{}{}",
                 min.runs,
                 outcome.decisions,
                 min.config.perturb_limit,
                 if cfg.reorder_ns > 0 {
                     format!(", reorder window -> {}ns", min.config.reorder_ns)
+                } else {
+                    String::new()
+                },
+                if cfg.workload == Workload::Shard && cfg.zipf_milli > 0 {
+                    format!(", zipf -> {}m", min.config.zipf_milli)
                 } else {
                     String::new()
                 },
@@ -284,6 +309,9 @@ fn run_replay(path: &Path) -> ExitCode {
             t.digest()
         );
         print!("{}", ale_trace::scenario_mode_mix(&t.events));
+        if cfg.workload == Workload::Shard {
+            print!("{}", ale_trace::shard_mode_mix(&t.events));
+        }
     }
     if outcome.failed() {
         println!("{} violation(s):", outcome.violations.len());

@@ -89,6 +89,21 @@ pub fn minimize(cfg: &CheckConfig, witness: &RunOutcome) -> Option<Minimized> {
         cfg.reorder_ns = window;
     }
 
+    // Shrink the read skew: a failing schedule that still fails at lower
+    // (or zero) Zipf skew is easier to reason about — hot-key pile-ups are
+    // one less ingredient in the repro.
+    if cfg.workload == crate::Workload::Shard && cfg.zipf_milli > 0 {
+        let (zipf, n) = bisect(0, cfg.zipf_milli, |zipf_milli| {
+            run_once(&CheckConfig {
+                zipf_milli,
+                ..cfg.clone()
+            })
+            .failed()
+        });
+        runs += n;
+        cfg.zipf_milli = zipf;
+    }
+
     // Shrink the crash consult index: an earlier crash means a shorter
     // pre-crash prefix to read in the replay (1 = crash at the very first
     // consult of the planned point).

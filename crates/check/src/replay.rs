@@ -166,6 +166,8 @@ pub fn write(cfg: &CheckConfig) -> String {
     out.push_str(&format!("chaos_ns={}\n", cfg.chaos_ns));
     out.push_str(&format!("reorder_ns={}\n", cfg.reorder_ns));
     out.push_str(&format!("ttl_ns={}\n", cfg.ttl_ns));
+    out.push_str(&format!("zipf_milli={}\n", cfg.zipf_milli));
+    out.push_str(&format!("shards={}\n", cfg.shards));
     if let Some(fault) = &cfg.fault {
         out.push_str(&format!("fault={}\n", fault_string(fault)));
     }
@@ -215,6 +217,8 @@ pub fn parse(text: &str) -> Result<CheckConfig, String> {
             "chaos_ns" => cfg.chaos_ns = value.parse().map_err(|_| bad("chaos_ns"))?,
             "reorder_ns" => cfg.reorder_ns = value.parse().map_err(|_| bad("reorder_ns"))?,
             "ttl_ns" => cfg.ttl_ns = value.parse().map_err(|_| bad("ttl_ns"))?,
+            "zipf_milli" => cfg.zipf_milli = value.parse().map_err(|_| bad("zipf_milli"))?,
+            "shards" => cfg.shards = value.parse().map_err(|_| bad("shards"))?,
             "fault" => cfg.fault = Some(parse_fault(value)?),
             "trace" => cfg.trace = value.parse().map_err(|_| bad("trace"))?,
             "crash" => cfg.crash = Some(parse_crash(value)?),
@@ -224,6 +228,9 @@ pub fn parse(text: &str) -> Result<CheckConfig, String> {
     }
     if cfg.threads == 0 {
         return Err("threads must be >= 1".into());
+    }
+    if cfg.shards == 0 {
+        return Err("shards must be >= 1".into());
     }
     if cfg.torn.is_some() && cfg.crash.is_none() {
         return Err("torn= requires crash=".into());
@@ -251,6 +258,8 @@ mod tests {
             chaos_ns: 60,
             reorder_ns: 350,
             ttl_ns: 640,
+            zipf_milli: 990,
+            shards: 8,
             fault: Some(FaultSpec {
                 point: InjectPoint::Commit,
                 kind: InjectKind::LockHeld,
@@ -355,5 +364,28 @@ mod tests {
             parse("workload=durable\ntorn=flip\n").is_err(),
             "torn without crash must be rejected"
         );
+        assert!(parse("zipf_milli=heavy\n").is_err());
+        assert!(parse("shards=0\n").is_err(), "zero shards must be rejected");
+    }
+
+    #[test]
+    fn shard_knobs_round_trip_byte_identical() {
+        // The sharded-map knobs (`--zipf` stored in milli-theta, `--shards`)
+        // must survive parse → re-serialize with no drift, including the
+        // uniform (0) and supra-unit skews the Zipf sampler special-cases.
+        for (zipf_milli, shards) in [(0u64, 1usize), (990, 4), (1100, 8), (1500, 32)] {
+            let cfg = CheckConfig {
+                workload: Workload::Shard,
+                zipf_milli,
+                shards,
+                ..CheckConfig::default()
+            };
+            let text = write(&cfg);
+            assert!(text.contains(&format!("zipf_milli={zipf_milli}\n")));
+            assert!(text.contains(&format!("shards={shards}\n")));
+            let parsed = parse(&text).expect("replay text must parse");
+            assert_eq!(parsed, cfg);
+            assert_eq!(write(&parsed), text, "re-serialization drifted");
+        }
     }
 }

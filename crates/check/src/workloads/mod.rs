@@ -35,6 +35,7 @@ mod nested;
 mod panic;
 mod queue;
 mod registry;
+mod shard;
 mod snzi;
 mod transfer;
 mod ttl;
@@ -86,10 +87,16 @@ pub enum Workload {
     /// shadows — every acknowledged operation present, no unacknowledged
     /// operation observable, seqs gapless up to the truncation point.
     Durable,
+    /// The sharded map with live incremental resize: SWOpt readers (Zipf-
+    /// skewed via `--zipf`) race Lock-mode mutators and explicit migration
+    /// steps across `--shards` shards; oracles cover torn lookups during
+    /// chain splices, lost keys from misrouted inserts, migration-cursor
+    /// monotonicity, and per-shard count-vs-enumeration parity.
+    Shard,
 }
 
 impl Workload {
-    pub const ALL: [Workload; 11] = [
+    pub const ALL: [Workload; 12] = [
         Workload::HashMap,
         Workload::Kyoto,
         Workload::Bank,
@@ -101,6 +108,7 @@ impl Workload {
         Workload::Registry,
         Workload::Nested,
         Workload::Durable,
+        Workload::Shard,
     ];
 
     /// The real-world scenario pack (the `--workload scenarios` group).
@@ -125,6 +133,7 @@ impl Workload {
             Workload::Registry => "registry",
             Workload::Nested => "nested",
             Workload::Durable => "durable",
+            Workload::Shard => "shard",
         }
     }
 
@@ -208,6 +217,7 @@ pub fn run(cfg: &CheckConfig) -> WorkloadOutcome {
         Workload::Registry => registry::run(cfg),
         Workload::Nested => nested::run(cfg),
         Workload::Durable => durable::run(cfg),
+        Workload::Shard => shard::run(cfg),
     }
 }
 

@@ -104,6 +104,110 @@ impl ShadowModel for KvShadow {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded-map shadow
+// ---------------------------------------------------------------------------
+
+/// Lane-owned slots of the sharded-map workload. Wider than
+/// [`CHURN_PER_LANE`] so one lane's keys land on *many* shards — the point
+/// of the shard workload is linearizability across shard boundaries, so a
+/// lane must routinely mutate several shards within one op window.
+pub const SHARD_SLOTS: usize = 8;
+
+/// Per-lane shadow for the sharded map: presence, value, and generation per
+/// owned slot, plus an insert/remove ledger whose difference is the lane's
+/// exact contribution to the map's live-key count — the per-shard
+/// count-vs-enumeration parity oracle sums these at quiescence.
+#[derive(Clone)]
+pub struct ShardShadow {
+    pub present: [bool; SHARD_SLOTS],
+    pub value: [u64; SHARD_SLOTS],
+    pub generation: [u64; SHARD_SLOTS],
+    /// Successful new insertions (presence false → true).
+    pub inserted: u64,
+    /// Successful removals (presence true → false).
+    pub removed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum ShardOp {
+    /// (Re-)insert `value` under the slot's key.
+    Insert { slot: usize, value: u64 },
+    /// Remove the slot's key.
+    Remove { slot: usize },
+    /// Look the slot's key up.
+    Get { slot: usize },
+}
+
+impl ShardShadow {
+    pub fn new() -> Self {
+        ShardShadow {
+            present: [false; SHARD_SLOTS],
+            value: [0; SHARD_SLOTS],
+            generation: [0; SHARD_SLOTS],
+            inserted: 0,
+            removed: 0,
+        }
+    }
+
+    /// Insert, returning `true` when the key was newly inserted.
+    pub fn insert(&mut self, slot: usize, value: u64) -> bool {
+        let newly = !self.present[slot];
+        self.present[slot] = true;
+        self.value[slot] = value;
+        self.generation[slot] += 1;
+        self.inserted += newly as u64;
+        newly
+    }
+
+    /// Remove, returning whether the key was present.
+    pub fn remove(&mut self, slot: usize) -> bool {
+        let was = std::mem::replace(&mut self.present[slot], false);
+        self.removed += was as u64;
+        was
+    }
+
+    /// The value a lookup must return (`None` = absent).
+    pub fn live(&self, slot: usize) -> Option<u64> {
+        self.present[slot].then_some(self.value[slot])
+    }
+
+    /// This lane's net contribution to the map's live-key count.
+    pub fn live_count(&self) -> u64 {
+        self.inserted - self.removed
+    }
+}
+
+impl Default for ShardShadow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShadowModel for ShardShadow {
+    type Op = ShardOp;
+    /// `Get` → the live value; `Insert`/`Remove` → 1 when presence changed.
+    type Obs = Option<u64>;
+
+    fn apply(&mut self, op: &ShardOp) -> Option<u64> {
+        match *op {
+            ShardOp::Insert { slot, value } => Some(self.insert(slot, value) as u64),
+            ShardOp::Remove { slot } => Some(self.remove(slot) as u64),
+            ShardOp::Get { slot } => self.live(slot),
+        }
+    }
+
+    fn fold(&self, h: &mut Fnv) {
+        for j in 0..SHARD_SLOTS {
+            h.write(&[self.present[j] as u8]);
+            h.write_u64(self.value[j]);
+            h.write_u64(self.generation[j]);
+        }
+        h.write_u64(self.inserted);
+        h.write_u64(self.removed);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TTL cache shadow
 // ---------------------------------------------------------------------------
 

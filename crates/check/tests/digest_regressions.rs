@@ -26,6 +26,18 @@ const PINNED: [(Workload, u64); 5] = [
     (Workload::Nested, 0x72d3_1f37_9c94_41df),
 ];
 
+/// The sharded-map workload pinned under *every* strategy: its op stream
+/// feeds the shard router, the Zipf sampler, and the migration-step
+/// driver, so a drift here also invalidates every `--workload shard`
+/// replay file (including the `zipf_milli`/`shards` keys they carry).
+const SHARD_PINNED: [(StrategyKind, u64); 5] = [
+    (StrategyKind::LowestClock, 0x2578_e58d_a364_e8fa),
+    (StrategyKind::RandomWalk, 0xd518_95d2_e380_c42c),
+    (StrategyKind::Preempt, 0xa4f2_208d_0832_613b),
+    (StrategyKind::MostConflicting, 0x21fb_057d_1356_f8a3),
+    (StrategyKind::Reorder, 0x67e1_678c_27c6_7b93),
+];
+
 fn pinned_config(workload: Workload) -> CheckConfig {
     CheckConfig {
         workload,
@@ -62,6 +74,38 @@ fn scenario_digests_are_pinned() {
              re-bless only if the change is intentional",
             workload.name(),
             outcome.digest
+        );
+    }
+}
+
+#[test]
+fn shard_digests_are_pinned_across_all_strategies() {
+    let bless = std::env::var_os("BLESS").is_some();
+    for (strategy, want) in SHARD_PINNED {
+        let cfg = CheckConfig {
+            strategy,
+            ..pinned_config(Workload::Shard)
+        };
+        let outcome = run_once(&cfg);
+        if bless {
+            println!(
+                "    (StrategyKind::{:?}, {:#018x}),",
+                strategy, outcome.digest
+            );
+            continue;
+        }
+        assert!(
+            outcome.violations.is_empty(),
+            "shard/{:?}: pinned schedule must be clean: {:?}",
+            strategy,
+            outcome.violations
+        );
+        assert_eq!(
+            outcome.digest, want,
+            "shard/{:?}: digest drifted to {:#018x} — op sampling, the Zipf \
+             sampler, shard routing, or the oracles changed; re-bless only if \
+             the change is intentional",
+            strategy, outcome.digest
         );
     }
 }

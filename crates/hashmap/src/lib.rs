@@ -14,6 +14,11 @@
 //!   profile (O(n) traversals → real capacity pressure, long optimistic
 //!   reads, tiny conflicting regions).
 //!
+//! * [`AleShardedMap`] — the scale refactor: N single-lock shards routed
+//!   by the hash's high bits, each its own adaptive granule, with
+//!   incremental resize whose migration steps are themselves elided
+//!   critical sections (see `shard` module docs).
+//!
 //! Keys are `u64`; values are any `Copy + Default` type of at most 16
 //! bytes (they live in [`ale_htm::HtmCell`]s).
 
@@ -21,8 +26,12 @@ pub mod baseline;
 pub mod list;
 pub mod map;
 pub mod node;
+pub mod resize;
+pub mod shard;
 
 pub use baseline::BaselineHashMap;
 pub use list::AleSortedList;
 pub use map::{AleHashMap, MapConfig};
 pub use node::{Node, NodeSlab, NIL};
+pub use resize::{Table, TableSet, MAX_TABLES, NO_TABLE};
+pub use shard::{AleShardedMap, ShardedMapConfig, MAX_SHARDS};

@@ -596,3 +596,68 @@ impl<V: Copy + Default + Send + 'static> AleHashMap<V> {
         self.vers.iter().all(|v| v.read(false).is_multiple_of(2))
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_core::{AleConfig, StaticPolicy};
+    use ale_vtime::Platform;
+
+    fn ale() -> Arc<Ale> {
+        Ale::new(
+            AleConfig::new(Platform::testbed()).with_seed(1),
+            StaticPolicy::new(0, 4),
+        )
+    }
+
+    /// Satellite: pin the documented `version_stripes` clamping behaviour.
+    /// More stripes than buckets is useless (a stripe would never be the
+    /// sole owner of a bucket), so construction clamps `stripes` to the
+    /// rounded bucket count — and `ver_of` must never index out of bounds
+    /// for *any* bucket the hash can produce, power of two or not.
+    #[test]
+    fn version_stripes_clamp_to_buckets() {
+        let ale = ale();
+        // 100 buckets round to 128; 500 stripes round to 512 then clamp.
+        let map: AleHashMap<u64> = AleHashMap::new(
+            &ale,
+            MapConfig {
+                buckets: 100,
+                capacity: 1 << 10,
+                version_stripes: 500,
+            },
+        );
+        assert_eq!(map.buckets.len(), 128);
+        assert_eq!(map.vers.len(), 128, "stripes must clamp to buckets");
+        assert_eq!(map.ver_mask, map.vers.len() - 1);
+    }
+
+    #[test]
+    fn ver_of_stays_in_bounds_for_non_power_of_two_inputs() {
+        let ale = ale();
+        for (buckets, stripes) in [(1, 1), (3, 7), (5, 100), (100, 6), (7, 0), (64, 64)] {
+            let map: AleHashMap<u64> = AleHashMap::new(
+                &ale,
+                MapConfig {
+                    buckets,
+                    capacity: 1 << 10,
+                    version_stripes: stripes,
+                },
+            );
+            assert!(map.vers.len().is_power_of_two());
+            assert!(
+                map.vers.len() <= map.buckets.len(),
+                "{stripes} stripes on {buckets} buckets must clamp"
+            );
+            // `ver_of` takes a bucket index, but must tolerate any usize a
+            // caller could derive from a hash: masking keeps it in bounds.
+            for raw in [0usize, 1, 2, 63, 64, 127, 1000, usize::MAX] {
+                let _ = map.ver_of(raw); // would panic on out-of-bounds
+            }
+            // Every actual bucket maps to a live stripe.
+            for b in 0..map.buckets.len() {
+                let _ = map.ver_of(b);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: the sharded map against
+//! `std::collections::HashMap` under arbitrary operation scripts, with
+//! resize thresholds forced low enough that migrations start and finish
+//! *inside* the scripts — every explicit migration step re-checks the
+//! cursor invariant, so the shrunk counterexample of a resize bug is an
+//! op script, not a schedule.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ale_core::{Ale, AleConfig, StaticPolicy};
+use ale_hashmap::{AleShardedMap, ShardedMapConfig};
+use ale_vtime::Platform;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+    /// One explicit migration chain move on shard `key % shards`.
+    MigrateStep(u64),
+}
+
+fn op_strategy(keys: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..keys, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => (0..keys).prop_map(Op::Remove),
+        3 => (0..keys).prop_map(Op::Get),
+        1 => (0..keys).prop_map(Op::MigrateStep),
+    ]
+}
+
+/// Run `script` against both maps. `piggyback` chooses between migration
+/// driven from mutating ops and migration driven only by explicit steps;
+/// either way every step must preserve the cursor invariant, and the
+/// final contents must match the model exactly.
+fn check_script(
+    platform: Platform,
+    shards: usize,
+    piggyback: usize,
+    script: &[Op],
+) -> Result<(), TestCaseError> {
+    let ale: Arc<Ale> = Ale::new(
+        AleConfig::new(platform).with_seed(5),
+        StaticPolicy::new(3, 6),
+    );
+    // Two buckets per shard and a low threshold: a handful of inserts
+    // starts a migration, and scripts routinely span several epochs.
+    let map: AleShardedMap<u64> = AleShardedMap::new(
+        &ale,
+        ShardedMapConfig::new(shards)
+            .with_buckets_per_shard(2)
+            .with_capacity_per_shard(1 << 10)
+            .with_version_stripes(2)
+            .with_max_load_permille(600)
+            .with_migrate_steps_per_op(piggyback),
+    );
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for op in script {
+        match *op {
+            Op::Insert(k, v) => {
+                prop_assert_eq!(map.insert(k, v), !model.contains_key(&k));
+                model.insert(k, v);
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(map.remove(k), model.remove(&k).is_some());
+            }
+            Op::Get(k) => {
+                let mut v = 0;
+                let found = map.get(k, &mut v);
+                prop_assert_eq!(found, model.contains_key(&k));
+                if found {
+                    prop_assert_eq!(&v, &model[&k]);
+                }
+            }
+            Op::MigrateStep(k) => {
+                let si = (k as usize) % map.shard_count();
+                map.migrate_step(si);
+                prop_assert!(
+                    map.old_chains_empty_below_cursor(si),
+                    "cursor invariant broken on shard {} after an explicit step",
+                    si
+                );
+            }
+        }
+        // The cursor invariant must hold after *every* op on every shard:
+        // piggybacked steps run inside inserts and removes too.
+        for si in 0..map.shard_count() {
+            prop_assert!(
+                map.old_chains_empty_below_cursor(si),
+                "cursor invariant broken on shard {}",
+                si
+            );
+        }
+    }
+    // Quiescent parity: totals, per-shard counter-vs-enumeration, and
+    // per-key contents, even if a migration is still live.
+    prop_assert_eq!(map.len_slow(), model.len());
+    for si in 0..map.shard_count() {
+        prop_assert_eq!(map.shard_len_slow(si) as u64, map.shard_live_count(si));
+    }
+    for (&k, &v) in &model {
+        let mut got = 0;
+        prop_assert!(map.get(k, &mut got), "key {} lost", k);
+        prop_assert_eq!(got, v);
+    }
+    prop_assert!(map.versions_even());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Piggybacked migration (the production configuration) matches the
+    /// reference model across live resizes.
+    #[test]
+    fn matches_model_piggyback(script in proptest::collection::vec(op_strategy(96), 0..160)) {
+        check_script(Platform::testbed(), 4, 2, &script)?;
+    }
+
+    /// Explicit-step-only migration: resizes stay live across many ops,
+    /// so lookups exercise the two-table path for most of the script.
+    #[test]
+    fn matches_model_explicit_steps(script in proptest::collection::vec(op_strategy(96), 0..160)) {
+        check_script(Platform::testbed(), 2, 0, &script)?;
+    }
+
+    /// A SWOpt-only platform (no HTM) takes the optimistic lookup path
+    /// with its double validation everywhere.
+    #[test]
+    fn matches_model_swopt(script in proptest::collection::vec(op_strategy(96), 0..160)) {
+        check_script(Platform::t2(), 4, 1, &script)?;
+    }
+
+    /// A single shard degenerates to one granule but keeps the resize
+    /// machinery; shard routing must not lose anything at the boundary.
+    #[test]
+    fn matches_model_single_shard(script in proptest::collection::vec(op_strategy(96), 0..160)) {
+        check_script(Platform::testbed(), 1, 1, &script)?;
+    }
+}

@@ -167,6 +167,118 @@ fn flip_torn_tail_is_rejected_by_checksum() {
 }
 
 #[test]
+fn crash_mid_migration_recovers_every_acked_write() {
+    use ale_hashmap::{AleShardedMap, ShardedMapConfig};
+
+    let _guard = serial();
+    clear_crash();
+    let (ale, db, wal) = db_with(12);
+    // An in-memory sharded index mirrors every acknowledged write — the
+    // usual cache-in-front-of-log shape. Tiny shards with piggyback
+    // migration off keep an incremental resize live across the crash.
+    let map: AleShardedMap<u64> = AleShardedMap::new(
+        &ale,
+        ShardedMapConfig::new(2)
+            .with_buckets_per_shard(2)
+            .with_capacity_per_shard(1 << 10)
+            .with_version_stripes(2)
+            .with_max_load_permille(600)
+            .with_migrate_steps_per_op(0),
+    );
+
+    let mut acked = Vec::new();
+    for k in 1..=24u64 {
+        db.set(k, k + 300);
+        map.insert(k, k + 300);
+        acked.push(k);
+    }
+    // Advance the migration a little, but the crash must land *mid*-epoch.
+    map.migrate_step(0);
+    assert!(
+        map.any_migration_in_progress(),
+        "the load factor must have tripped a resize before the crash"
+    );
+
+    // The process dies on the 4th durable append from here: some writes
+    // ack, one is killed after its record is durable, the map is torn
+    // away mid-migration.
+    install_crash(CrashPlan::new(CrashPoint::PreCommit, 4));
+    let mut killed = None;
+    for k in 25..=32u64 {
+        match catch_unwind(AssertUnwindSafe(|| db.set(k, k + 300))) {
+            Ok(_) => {
+                map.insert(k, k + 300);
+                acked.push(k);
+            }
+            Err(p) => {
+                assert!(p.downcast_ref::<InjectedCrash>().is_some());
+                if killed.is_none() {
+                    killed = Some(k);
+                }
+            }
+        }
+    }
+    assert!(crashed());
+    assert_eq!(killed, Some(28));
+    assert!(
+        map.any_migration_in_progress(),
+        "the crash must interrupt a live migration"
+    );
+    clear_crash();
+
+    // Recovery sees only the log. The durability oracle's contract: every
+    // acknowledged write present, the killed-but-durable write present,
+    // nothing after the crash observable.
+    let (rdb, rep) = fresh_recover(13, &wal);
+    assert!(rep.gapless);
+    assert_eq!(rep.truncated, 0);
+    for &k in &acked {
+        assert_eq!(rdb.get(k), Some(k + 300), "acked key {k} lost");
+    }
+    assert_eq!(rdb.get(28), Some(328), "durable pre-commit write lost");
+    assert_eq!(rdb.get(29), None, "post-crash write must not be durable");
+    assert_eq!(rdb.count(), acked.len() + 1);
+
+    // Rebuild the sharded index from the recovered database: the dead
+    // map's half-finished migration must leave no residue — the fresh map
+    // reaches parity, its cursor invariant holds through its own resizes,
+    // and draining them terminates.
+    let rale = Ale::new(
+        AleConfig::new(Platform::testbed()).with_seed(14),
+        StaticPolicy::new(3, 8),
+    );
+    let rmap: AleShardedMap<u64> = AleShardedMap::new(
+        &rale,
+        ShardedMapConfig::new(2)
+            .with_buckets_per_shard(2)
+            .with_capacity_per_shard(1 << 10)
+            .with_version_stripes(2)
+            .with_max_load_permille(600)
+            .with_migrate_steps_per_op(1),
+    );
+    for k in 1..=32u64 {
+        if let Some(v) = rdb.get(k) {
+            rmap.insert(k, v);
+        }
+    }
+    for si in 0..rmap.shard_count() {
+        let mut steps = 0;
+        while rmap.migrate_step(si) {
+            assert!(rmap.old_chains_empty_below_cursor(si));
+            steps += 1;
+            assert!(steps < 10_000, "rebuild migration never terminates");
+        }
+    }
+    assert_eq!(rmap.len_slow(), rdb.count());
+    let mut v = 0;
+    for &k in &acked {
+        assert!(rmap.get(k, &mut v), "rebuilt index lost acked key {k}");
+        assert_eq!(v, k + 300);
+    }
+    assert!(rmap.versions_even());
+}
+
+#[test]
 fn frozen_wal_rejects_posthumous_appends() {
     let _guard = serial();
     clear_crash();

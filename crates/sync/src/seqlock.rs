@@ -329,6 +329,31 @@ impl<const N: usize> SeqBuffer<N> {
         }
     }
 
+    /// Optimistically read a consistent snapshot *and* the even version it
+    /// was validated against, so the caller can extend the optimistic
+    /// window: do further reads that depend on the snapshot, then call
+    /// [`SeqVersion::validate`] on [`version`](SeqBuffer::version) with the
+    /// returned value to confirm nothing was republished in between.
+    ///
+    /// This is what the sharded map's lookup path needs — the table-pointer
+    /// snapshot must still be current *after* the bucket chains it named
+    /// have been traversed.
+    // ale-lint: swopt — loads and validation only, like load().
+    pub fn load_versioned(&self) -> ([u64; N], u64) {
+        loop {
+            let snap = self.ver.read(true);
+            let mut out = [0u64; N];
+            for (o, c) in out.iter_mut().zip(self.cells.iter()) {
+                *o = c.get();
+            }
+            // validate() carries the subscribe-side reorder fence.
+            if self.ver.validate(snap) {
+                return (out, snap);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
     /// The guarding version, for callers composing wider SWOpt validation.
     pub fn version(&self) -> &SeqVersion {
         &self.ver
@@ -521,6 +546,25 @@ mod tests {
         assert_eq!(buf.load(), [7, 8, 9, 10]);
         let snap = buf.version().read(true);
         assert!(buf.version().validate(snap));
+    }
+
+    #[test]
+    fn seqbuffer_load_versioned_extends_the_optimistic_window() {
+        let buf: SeqBuffer<2> = SeqBuffer::new();
+        buf.store([3, 4]);
+        let (vals, snap) = buf.load_versioned();
+        assert_eq!(vals, [3, 4]);
+        assert_eq!(snap % 2, 0, "snapshot version must be even");
+        assert!(
+            buf.version().validate(snap),
+            "untouched buffer still validates"
+        );
+        buf.store([5, 6]);
+        assert!(
+            !buf.version().validate(snap),
+            "a republish must invalidate the extended window"
+        );
+        assert_eq!(buf.load_versioned().0, [5, 6]);
     }
 
     // Under the mutation the whole point is that snapshots *can* tear, so

@@ -206,6 +206,55 @@ pub fn scenario_mode_mix(events: &[TraceEvent]) -> String {
     w.finish()
 }
 
+/// Break a merged stream's mode mix down by *shard*: one
+/// `ale_shard_mode_total{shard,mode}` counter per observed (shard index,
+/// mode) pair, in deterministic (shard, mode) order.
+///
+/// Shards are recognised by their lock labels — `AleShardedMap` labels
+/// shard `i`'s lock `shard<ii>` (two digits, `shard00`..`shard31`) — so
+/// the export needs no side channel: the intern table already carries the
+/// shard identity. Events on non-shard locks are ignored; under Zipf skew
+/// the per-shard counters make the hot shard's mode collapse (e.g. the
+/// StormBreaker demoting `shard03` to Lock while cold shards keep
+/// eliding) directly visible on a dashboard.
+pub fn shard_mode_mix(events: &[TraceEvent]) -> String {
+    use crate::event::EventKind;
+    let mut counts: std::collections::BTreeMap<(u8, u8), u64> = std::collections::BTreeMap::new();
+    for e in events {
+        if e.kind() != Some(EventKind::ModeDecision) {
+            continue;
+        }
+        let label = label_name(e.label);
+        let Some(idx) = label.strip_prefix("shard") else {
+            continue;
+        };
+        let Ok(shard) = idx.parse::<u8>() else {
+            continue;
+        };
+        *counts.entry((shard, e.a)).or_insert(0) += 1;
+    }
+    let mut w = PromWriter::new();
+    w.family(
+        "ale_shard_mode_total",
+        "Critical-section completions by shard and mode.",
+        "counter",
+    );
+    for ((shard, mode), n) in &counts {
+        let mode = match mode {
+            0 => "htm",
+            1 => "swopt",
+            2 => "lock",
+            _ => "unknown",
+        };
+        w.sample(
+            "ale_shard_mode_total",
+            &[("shard", &shard.to_string()), ("mode", mode)],
+            *n as f64,
+        );
+    }
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,7 +29,9 @@ pub mod ring;
 pub mod scenario;
 
 pub use event::{reason, EventKind, TraceEvent};
-pub use export::{digest, escape_json, scenario_mode_mix, to_json, to_jsonl, Fnv, PromWriter};
+pub use export::{
+    digest, escape_json, scenario_mode_mix, shard_mode_mix, to_json, to_jsonl, Fnv, PromWriter,
+};
 pub use intern::{label_id, label_name};
 pub use ring::Ring;
 pub use scenario::{clear_scenario, scenario_name, scenario_tag, set_scenario};

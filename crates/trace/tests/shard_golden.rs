@@ -1,0 +1,70 @@
+//! Golden-snapshot test for the per-shard mode-mix exporter: the
+//! `ale_shard_mode_total` family is a stable surface dashboards scrape,
+//! so any change must show up as a reviewed fixture diff.
+//!
+//! Regenerate the fixture after an intentional schema change with:
+//! `BLESS=1 cargo test -p ale-trace --test shard_golden`
+
+use ale_trace::{label_id, shard_mode_mix, TraceEvent};
+
+/// A deterministic synthetic stream: three shards with distinct mode
+/// mixes (the hot shard mostly in Lock mode, the cold ones eliding), one
+/// non-shard lock the exporter must ignore, plus a non-ModeDecision
+/// event. Runs in its own test binary, so first-use label interning is
+/// deterministic.
+fn demo_stream() -> Vec<TraceEvent> {
+    let s0 = label_id("shard00");
+    let s3 = label_id("shard03");
+    let s17 = label_id("shard17");
+    let other = label_id("kyoto-rw");
+    let mut evs = Vec::new();
+    let mut push_mode = |label: u16, mode: u8, n: usize| {
+        for _ in 0..n {
+            evs.push(TraceEvent::mode_decision(label, mode, 0, 1));
+        }
+    };
+    // Cold shard 0: mostly elided.
+    push_mode(s0, 0, 6);
+    push_mode(s0, 1, 2);
+    // Hot shard 3: collapsed to Lock.
+    push_mode(s3, 2, 9);
+    push_mode(s3, 1, 1);
+    // Two-digit parse: shard 17.
+    push_mode(s17, 0, 4);
+    // Non-shard lock and non-ModeDecision event: both ignored.
+    push_mode(other, 2, 5);
+    evs.push(TraceEvent::lock_poison(s0));
+    evs
+}
+
+#[test]
+fn shard_mix_matches_golden_fixture() {
+    let got = shard_mode_mix(&demo_stream());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/shard_mix.prom");
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(path, &got).expect("write blessed fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).expect(
+        "fixture missing — regenerate with BLESS=1 cargo test -p ale-trace --test shard_golden",
+    );
+    assert_eq!(
+        got, expected,
+        "shard mode-mix exporter drifted from the golden fixture; if the \
+         change is intentional, regenerate with BLESS=1 and review the diff"
+    );
+}
+
+#[test]
+fn shard_mix_breaks_modes_down_per_shard() {
+    let text = shard_mode_mix(&demo_stream());
+    assert!(text.contains("# TYPE ale_shard_mode_total counter\n"));
+    assert!(text.contains("ale_shard_mode_total{shard=\"0\",mode=\"htm\"} 6\n"));
+    assert!(text.contains("ale_shard_mode_total{shard=\"0\",mode=\"swopt\"} 2\n"));
+    assert!(text.contains("ale_shard_mode_total{shard=\"3\",mode=\"lock\"} 9\n"));
+    assert!(text.contains("ale_shard_mode_total{shard=\"3\",mode=\"swopt\"} 1\n"));
+    assert!(text.contains("ale_shard_mode_total{shard=\"17\",mode=\"htm\"} 4\n"));
+    // The non-shard lock and the lock_poison event contribute nothing.
+    assert!(!text.contains("kyoto"));
+    assert_eq!(text.matches("ale_shard_mode_total{").count(), 5);
+}

@@ -28,16 +28,43 @@ pub struct Zipf {
     zetan: f64,
     eta: f64,
     half_pow_theta: f64,
+    /// Inverse-CDF table, used only for `theta ≥ 1` where the Gray
+    /// closed-form approximation breaks down (`alpha = 1/(1-theta)`
+    /// diverges). `cdf[r]` is the cumulative unnormalised mass of ranks
+    /// `0..=r`; empty for the closed-form branch.
+    cdf: Vec<f64>,
 }
 
 impl Zipf {
-    /// A Zipfian sampler over `0..n` with skew `theta ∈ (0, 1)`.
+    /// A Zipfian sampler over `0..n` with skew `theta ≥ 0`.
     /// `theta ≈ 0.99` is the classic YCSB default (heavy skew);
-    /// `theta → 0` approaches uniform.
+    /// `theta → 0` approaches uniform. `theta ≥ 1` (e.g. the 1.1 used by
+    /// the sharded-map skew benchmarks) switches to an exact
+    /// inverse-CDF table — O(n) memory, O(log n) per draw.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n >= 1, "Zipf needs a nonempty key space");
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be finite and non-negative"
+        );
         let zetan = Self::zeta(n, theta);
+        if theta >= 1.0 {
+            let mut cdf = Vec::with_capacity(n as usize);
+            let mut acc = 0.0;
+            for i in 1..=n {
+                acc += 1.0 / (i as f64).powf(theta);
+                cdf.push(acc);
+            }
+            return Zipf {
+                n,
+                theta,
+                alpha: 0.0,
+                zetan,
+                eta: 0.0,
+                half_pow_theta: 0.0,
+                cdf,
+            };
+        }
         let zeta2 = Self::zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
@@ -48,6 +75,7 @@ impl Zipf {
             zetan,
             eta,
             half_pow_theta: 0.5f64.powf(theta),
+            cdf: Vec::new(),
         }
     }
 
@@ -69,6 +97,10 @@ impl Zipf {
     pub fn sample(&self, rng: &mut Rng) -> u64 {
         let u = rng.gen_f64();
         let uz = u * self.zetan;
+        if !self.cdf.is_empty() {
+            let rank = self.cdf.partition_point(|&c| c <= uz) as u64;
+            return rank.min(self.n - 1);
+        }
         if uz < 1.0 {
             return 0;
         }
@@ -142,8 +174,39 @@ mod tests {
     }
 
     #[test]
+    fn supra_unit_theta_uses_the_table_branch() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+        // theta=1.1 over 100 keys: P(rank 0) = 1/ζ(100, 1.1) ≈ 0.24.
+        let freq = frequencies(100, 1.1, 100_000);
+        let share = freq[0] as f64 / 100_000.0;
+        assert!(
+            (0.20..0.29).contains(&share),
+            "rank 0 at theta=1.1 should draw ~24% of accesses, got {share:.3}"
+        );
+        assert!(freq[0] > freq[10]);
+        assert!(freq[10] > freq[50].max(1));
+        // Degenerate single-key space on the table branch too.
+        let z1 = Zipf::new(1, 1.5);
+        assert_eq!(z1.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn table_branch_is_deterministic() {
+        let z = Zipf::new(500, 1.1);
+        let mut a = Rng::new(3);
+        let mut b = Rng::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "theta")]
-    fn rejects_theta_one() {
-        let _ = Zipf::new(10, 1.0);
+    fn rejects_negative_theta() {
+        let _ = Zipf::new(10, -0.5);
     }
 }
