@@ -1,0 +1,381 @@
+//! Cross-PR benchmark shape-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json>
+//! ```
+//!
+//! Flattens both trajectory documents (`BENCH_<n>.json`) to their numeric
+//! leaves and compares every *gated* leaf that exists in the baseline:
+//!
+//! * throughput leaves — key ends in `mops` or contains `speedup` —
+//!   regress when the current value drops more than 10 % below baseline;
+//! * cost leaves — key ends in `ratio` or `per_cs_ns` — regress when the
+//!   current value rises more than 10 % above baseline.
+//!
+//! Leaves that are new in the current file pass (a PR may add cells);
+//! gated baseline leaves missing from the current file fail (a PR must
+//! not silently drop a cell). Counters and identifiers (`threads`,
+//! `seed`, `trips`, `total_ops`, …) are informational and not gated.
+//!
+//! Exit status 0 = no regression, 1 = regression (CI fails the job).
+
+use std::process::ExitCode;
+
+/// The 10 % shape tolerance, as a fraction.
+const TOLERANCE: f64 = 0.10;
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader: just enough to flatten numeric leaves. The
+// trajectory emits its own JSON (no serde in the workspace), so the gate
+// reads it the same way.
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Reader {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char,
+                self.pos.saturating_sub(1),
+                got.map(|g| g as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) => out.push(b as char),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected literal {lit} at byte {}", self.pos))
+        }
+    }
+
+    /// Parse one value, appending any numeric leaves under `path` into
+    /// `out` as `(dotted.path, value)`.
+    fn value(&mut self, path: &str, out: &mut Vec<(String, f64)>) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.bump();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(());
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let sub = if path.is_empty() {
+                        key
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    self.value(&sub, out)?;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => self.skip_ws(),
+                        Some(b'}') => return Ok(()),
+                        got => return Err(format!("expected ',' or '}}', got {got:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.bump();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(());
+                }
+                let mut idx = 0usize;
+                loop {
+                    self.value(&format!("{path}[{idx}]"), out)?;
+                    idx += 1;
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => self.skip_ws(),
+                        Some(b']') => return Ok(()),
+                        got => return Err(format!("expected ',' or ']', got {got:?}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                let num: f64 = text
+                    .parse()
+                    .map_err(|e| format!("bad number {text:?}: {e}"))?;
+                out.push((path.to_string(), num));
+                Ok(())
+            }
+            got => Err(format!("unexpected byte {got:?} at {}", self.pos)),
+        }
+    }
+}
+
+/// Flatten a JSON document to its numeric leaves.
+fn numeric_leaves(doc: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let mut r = Reader::new(doc);
+    r.value("", &mut out)?;
+    r.skip_ws();
+    if r.peek().is_some() {
+        return Err(format!("trailing garbage at byte {}", r.pos));
+    }
+    Ok(out)
+}
+
+/// Which direction (if any) a leaf is gated in.
+#[derive(Debug, PartialEq, Clone, Copy)]
+enum Gate {
+    HigherBetter,
+    LowerBetter,
+    Ungated,
+}
+
+fn gate_for(path: &str) -> Gate {
+    let leaf = path
+        .rsplit('.')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(|c: char| c == ']' || c.is_ascii_digit() || c == '[');
+    if leaf.ends_with("mops") || leaf.contains("speedup") {
+        Gate::HigherBetter
+    } else if leaf.ends_with("ratio") || leaf.ends_with("per_cs_ns") {
+        Gate::LowerBetter
+    } else {
+        Gate::Ungated
+    }
+}
+
+/// Compare baseline → current. Returns human-readable regression lines.
+fn regressions(baseline: &[(String, f64)], current: &[(String, f64)]) -> Vec<String> {
+    let cur: std::collections::BTreeMap<&str, f64> =
+        current.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut bad = Vec::new();
+    for (path, base) in baseline {
+        let gate = gate_for(path);
+        if gate == Gate::Ungated {
+            continue;
+        }
+        let Some(&now) = cur.get(path.as_str()) else {
+            bad.push(format!(
+                "{path}: gated cell present in baseline but missing"
+            ));
+            continue;
+        };
+        if *base == 0.0 {
+            continue;
+        }
+        let rel = (now - base) / base.abs();
+        let regressed = match gate {
+            Gate::HigherBetter => rel < -TOLERANCE,
+            Gate::LowerBetter => rel > TOLERANCE,
+            Gate::Ungated => false,
+        };
+        if regressed {
+            bad.push(format!(
+                "{path}: {base} -> {now} ({:+.1} %, tolerance ±{:.0} %)",
+                rel * 100.0,
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    bad
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(base_path), Some(cur_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| panic!("bench_gate: read {p}: {e}"))
+    };
+    let base = numeric_leaves(&read(&base_path))
+        .unwrap_or_else(|e| panic!("bench_gate: parse {base_path}: {e}"));
+    let cur = numeric_leaves(&read(&cur_path))
+        .unwrap_or_else(|e| panic!("bench_gate: parse {cur_path}: {e}"));
+    let gated = base
+        .iter()
+        .filter(|(k, _)| gate_for(k) != Gate::Ungated)
+        .count();
+    let bad = regressions(&base, &cur);
+    if bad.is_empty() {
+        eprintln!(
+            "bench_gate: OK — {gated} gated cell(s) of {} within ±{:.0} % of {base_path}",
+            base.len(),
+            TOLERANCE * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: FAIL — {} regression(s) vs {base_path}:",
+            bad.len()
+        );
+        for line in &bad {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+      "seed": 42,
+      "fig2_cell": { "threads": 8, "mops": 36.1054, "makespan_ns": 1329442 },
+      "sharded": { "cells": [ { "shards": 8, "mops": 8.0 } ],
+                   "zipf_speedup_8shard_vs_single": 1.9 },
+      "durability": { "overhead_ratio": 1.185 },
+      "per_cs_overhead": { "cells": [ { "threads": 1, "adaptive_per_cs_ns": 36.29,
+                                        "ratio": 1.81 } ] }
+    }"#;
+
+    #[test]
+    fn flattens_numeric_leaves_with_paths() {
+        let leaves = numeric_leaves(BASE).unwrap();
+        let get = |k: &str| leaves.iter().find(|(p, _)| p == k).map(|(_, v)| *v);
+        assert_eq!(get("fig2_cell.mops"), Some(36.1054));
+        assert_eq!(get("sharded.cells[0].mops"), Some(8.0));
+        assert_eq!(get("per_cs_overhead.cells[0].ratio"), Some(1.81));
+        assert_eq!(get("seed"), Some(42.0));
+    }
+
+    #[test]
+    fn directions_assigned_by_leaf_name() {
+        assert_eq!(gate_for("fig2_cell.mops"), Gate::HigherBetter);
+        assert_eq!(
+            gate_for("sharded.zipf_speedup_8shard_vs_single"),
+            Gate::HigherBetter
+        );
+        assert_eq!(gate_for("durability.overhead_ratio"), Gate::LowerBetter);
+        assert_eq!(
+            gate_for("per_cs_overhead.cells[0].adaptive_per_cs_ns"),
+            Gate::LowerBetter
+        );
+        assert_eq!(gate_for("fig2_cell.makespan_ns"), Gate::Ungated);
+        assert_eq!(gate_for("seed"), Gate::Ungated);
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let leaves = numeric_leaves(BASE).unwrap();
+        assert!(regressions(&leaves, &leaves).is_empty());
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let cur = BASE.replace("\"mops\": 36.1054", "\"mops\": 30.0");
+        let bad = regressions(
+            &numeric_leaves(BASE).unwrap(),
+            &numeric_leaves(&cur).unwrap(),
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].starts_with("fig2_cell.mops"));
+    }
+
+    #[test]
+    fn cost_rise_beyond_tolerance_fails_and_small_drift_passes() {
+        let worse = BASE.replace("\"overhead_ratio\": 1.185", "\"overhead_ratio\": 1.40");
+        let bad = regressions(
+            &numeric_leaves(BASE).unwrap(),
+            &numeric_leaves(&worse).unwrap(),
+        );
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].starts_with("durability.overhead_ratio"));
+
+        let drift = BASE.replace("\"mops\": 36.1054", "\"mops\": 34.0");
+        assert!(regressions(
+            &numeric_leaves(BASE).unwrap(),
+            &numeric_leaves(&drift).unwrap()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn missing_gated_cell_fails_and_new_cells_pass() {
+        let shrunk = r#"{ "fig2_cell": { "mops": 36.1054 } }"#;
+        let bad = regressions(
+            &numeric_leaves(BASE).unwrap(),
+            &numeric_leaves(shrunk).unwrap(),
+        );
+        assert!(bad.iter().any(|l| l.contains("overhead_ratio")), "{bad:?}");
+
+        let grown = BASE.replace(
+            "\"seed\": 42,",
+            "\"seed\": 42, \"extra\": { \"mops\": 1.0 },",
+        );
+        assert!(regressions(
+            &numeric_leaves(BASE).unwrap(),
+            &numeric_leaves(&grown).unwrap()
+        )
+        .is_empty());
+    }
+}

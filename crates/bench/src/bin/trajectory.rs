@@ -13,7 +13,11 @@
 //! * the **durability overhead** — the Kyoto `wicked` workload against the
 //!   same CacheDB with the WAL off (`AleCacheDb`) and on
 //!   (`DurableCacheDb`), identical op streams, plus a recovery pass that
-//!   must reproduce the live database.
+//!   must reproduce the live database;
+//! * the **per-CS overhead** — empty critical sections through the full
+//!   adaptive entry/exit against a modeled raw `std::sync::Mutex` fast
+//!   path, uncontended and 8-thread contended, with an in-binary gate on
+//!   the uncontended ratio.
 //!
 //! The output is committed as `BENCH_<n>.json` at the repo root, one file
 //! per PR, so the numbers form a trajectory reviewers can diff. Everything
@@ -25,11 +29,12 @@ use std::sync::Arc;
 
 use ale_bench::harness::{run_hashmap, run_sharded, HashMapWorkload, BENCH_SLACK_NS};
 use ale_bench::{run_storm, StormConfig, Variant};
-use ale_core::{Ale, AleConfig, StaticPolicy};
+use ale_core::{scope, Ale, AleConfig, CsOptions, StatSink, StaticPolicy};
 use ale_kyoto::{
     prefill, recover, wicked_op, AleCacheDb, DbConfig, DurableCacheDb, KyotoDb, Wal, WickedConfig,
     WickedStats, RECORD_BYTES,
 };
+use ale_sync::SpinLock;
 use ale_vtime::{Platform, Sim};
 
 struct Opts {
@@ -313,6 +318,92 @@ fn storm_section(opts: &Opts) -> String {
     )
 }
 
+/// Per-critical-section overhead cell: empty critical sections through the
+/// full adaptive entry/exit (granule lookup, cached plan word, HTM
+/// attempt, stat sink, trace gate) against the same op count on a modeled
+/// raw `std::sync::Mutex` fast path — the uncontended futex path, which
+/// on Linux is two atomic RMWs: `lock()` is a `compare_exchange` on the
+/// futex word and `unlock()` is an atomic `swap` (it must observe
+/// waiters, so it cannot be a plain store). Both sides run under the
+/// virtual-time simulator on the no-noise testbed platform, so the
+/// committed numbers are deterministic: a regressed fast path moves this
+/// cell, noise cannot.
+///
+/// The simulator normally prices statistics with the per-event Direct sink
+/// (kept solely so pinned ale-check digests stay bit-identical); the
+/// shipped fast path batches them into a stack-local delta. This cell
+/// measures what ships, so it opts the simulator into the batched sink for
+/// its duration ([`StatSink::force_batched`]) and restores the default
+/// before the next section.
+///
+/// In-binary shape gate (mirrors the sharded cell's): adaptive uncontended
+/// entry/exit must stay ≤ 2.0× the raw-mutex model.
+fn per_cs_overhead_section(opts: &Opts) -> String {
+    let platform = Platform::testbed();
+    let ops: u64 = if opts.quick { 2_000 } else { 10_000 };
+    StatSink::force_batched(true);
+    let mut cells = Vec::new();
+    let mut uncontended_ratio = f64::NAN;
+    for threads in [1usize, 8] {
+        let ale = ale_for(&platform, opts.seed);
+        let lock = ale.new_lock("per_cs_overhead", SpinLock::new());
+        let adaptive = Sim::new(platform.clone(), threads)
+            .with_seed(opts.seed)
+            .with_slack(BENCH_SLACK_NS)
+            .run(|_lane| {
+                for _ in 0..ops {
+                    lock.cs_plain(scope!("bench::per_cs"), CsOptions::new(), |_| {});
+                }
+            });
+        let raw = Sim::new(platform.clone(), threads)
+            .with_seed(opts.seed)
+            .with_slack(BENCH_SLACK_NS)
+            .run(|_lane| {
+                for _ in 0..ops {
+                    // The uncontended futex fast path: lock cmpxchg, then a
+                    // release swap (the unlock RMW that checks for waiters).
+                    ale_vtime::tick(ale_vtime::Event::Cas);
+                    ale_vtime::tick(ale_vtime::Event::Cas);
+                }
+            });
+        let adaptive_ns = adaptive.makespan_ns as f64 / ops as f64;
+        let raw_ns = raw.makespan_ns as f64 / ops as f64;
+        let ratio = adaptive_ns / raw_ns;
+        if threads == 1 {
+            uncontended_ratio = ratio;
+        }
+        eprintln!(
+            "  per-CS overhead: t={threads}: adaptive {adaptive_ns:.1} ns vs raw mutex \
+             {raw_ns:.1} ns ({ratio:.3}x)"
+        );
+        cells.push(format!(
+            "{{ \"threads\": {threads}, \"adaptive_per_cs_ns\": {adaptive_ns:.2}, \
+             \"raw_mutex_per_cs_ns\": {raw_ns:.2}, \"ratio\": {ratio:.4} }}"
+        ));
+    }
+    StatSink::force_batched(false);
+    assert!(
+        uncontended_ratio <= 2.0,
+        "shape gate: adaptive uncontended entry/exit ({uncontended_ratio:.4}x) must stay \
+         within 2.0x of the raw std::sync::Mutex model"
+    );
+    format!(
+        concat!(
+            "{{\n",
+            "    \"platform\": \"testbed\",\n",
+            "    \"ops_per_lane\": {},\n",
+            "    \"cells\": [\n",
+            "      {}\n",
+            "    ],\n",
+            "    \"uncontended_ratio\": {:.4}\n",
+            "  }}"
+        ),
+        ops,
+        cells.join(",\n      "),
+        uncontended_ratio,
+    )
+}
+
 fn main() {
     let mut opts = Opts {
         quick: false,
@@ -352,6 +443,7 @@ fn main() {
     let sharded = sharded_section(&opts);
     let storm = storm_section(&opts);
     let durability = durability_section(&opts);
+    let per_cs = per_cs_overhead_section(&opts);
 
     let json = format!(
         concat!(
@@ -362,10 +454,11 @@ fn main() {
             "  \"fig2_cell\": {},\n",
             "  \"sharded\": {},\n",
             "  \"storm_recovery\": {},\n",
-            "  \"durability\": {}\n",
+            "  \"durability\": {},\n",
+            "  \"per_cs_overhead\": {}\n",
             "}}\n"
         ),
-        opts.seed, opts.quick, fig2, sharded, storm, durability
+        opts.seed, opts.quick, fig2, sharded, storm, durability, per_cs
     );
     print!("{json}");
     if let Some(path) = &opts.out {

@@ -441,6 +441,22 @@ pub fn run_once(cfg: &CheckConfig) -> RunOutcome {
             digest.write_u64(out.decisions);
             digest.write_u64(injected);
             let mut violations = out.violations;
+            if let Some((executions, exact)) = out.stat_parity {
+                // The stat-parity oracle: every completed critical section
+                // bumps its granule's executions counter exactly once —
+                // per-event under the simulator, via the batched exit
+                // flush otherwise — so while the counters are still in the
+                // BFP exact regime the totals must agree. A flush that
+                // drops its delta (the `mut-stat-batch-lost` mutation)
+                // shows up here.
+                let completed = completes.load(Ordering::Relaxed);
+                if exact && executions != completed {
+                    violations.push(format!(
+                        "stat parity oracle: granule stats record {executions} \
+                         execution(s) for {completed} completed critical section(s)"
+                    ));
+                }
+            }
             if let Some(t) = &trace {
                 // The trace oracle: every completed critical section emits
                 // exactly one mode-decision event, so at full sampling with
@@ -515,6 +531,8 @@ pub fn active_mutation() -> Option<&'static str> {
         Some("mut-resize-skip-republish")
     } else if cfg!(feature = "mut-shard-route-stale") {
         Some("mut-shard-route-stale")
+    } else if cfg!(feature = "mut-stat-batch-lost") {
+        Some("mut-stat-batch-lost")
     } else {
         None
     }
@@ -536,6 +554,9 @@ pub fn workload_for_mutation(mutation: &str) -> Workload {
         "mut-wal-ack-before-durable" | "mut-recovery-skip-checksum" => Workload::Durable,
         // Both resize mutations only bite while a shard migration is live.
         "mut-resize-skip-republish" | "mut-shard-route-stale" => Workload::Shard,
+        // A dropped executions flush under-reports against the completion
+        // count on any CS-heavy workload; the hashmap samples stat parity.
+        "mut-stat-batch-lost" => Workload::HashMap,
         // Both hashmap mutations break SWOpt-reader integrity.
         _ => Workload::HashMap,
     }

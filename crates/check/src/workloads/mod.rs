@@ -150,6 +150,12 @@ pub struct WorkloadOutcome {
     pub digest: u64,
     pub decisions: u64,
     pub makespan_ns: u64,
+    /// Granule statistics parity sample: `(total executions recorded
+    /// across every granule, all counters still exact)`. `None` when the
+    /// workload does not sample its runtime's granule stats. Compared by
+    /// `run_once` against the observed completion count — never folded
+    /// into the digest.
+    pub stat_parity: Option<(u64, bool)>,
 }
 
 /// Recorded oracle violations. Capped so a hot oracle can't balloon the
@@ -201,6 +207,24 @@ pub(crate) fn lane_rng(cfg: &CheckConfig, lane: usize) -> Rng {
     let mut sub = Fnv::new();
     sub.write(cfg.workload.name().as_bytes());
     Rng::new(cfg.seed ^ sub.finish() ^ (lane as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Sum the completed-execution statistic across every granule of `ale`'s
+/// locks, plus whether all those counters are still in the BFP exact
+/// regime (the comparison is only meaningful while they are). Called
+/// after the simulation has drained, from the host thread — not a
+/// simulated lane — so the counter reads tick nothing and pinned
+/// schedule digests are unaffected.
+pub(crate) fn granule_stat_parity(ale: &ale_core::Ale) -> (u64, bool) {
+    let mut executions = 0u64;
+    let mut exact = true;
+    for meta in ale.lock_metas() {
+        for g in meta.granules.all() {
+            executions += g.stats.executions.read();
+            exact &= g.stats.executions.is_exact();
+        }
+    }
+    (executions, exact)
 }
 
 /// Dispatch to the configured workload.

@@ -286,5 +286,6 @@ pub(super) fn run(cfg: &CheckConfig) -> WorkloadOutcome {
         digest: h.finish(),
         decisions: report.decisions,
         makespan_ns: report.makespan_ns,
+        stat_parity: Some(super::granule_stat_parity(&ale)),
     }
 }

@@ -247,5 +247,6 @@ pub(super) fn run(cfg: &CheckConfig) -> WorkloadOutcome {
         digest: h.finish(),
         decisions: report.decisions,
         makespan_ns: report.makespan_ns,
+        stat_parity: None,
     }
 }

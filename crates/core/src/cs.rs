@@ -23,7 +23,7 @@ use ale_vtime::{now, Rng};
 
 use crate::check_hooks::{emit, CsEvent};
 use crate::frame::{self, HeldKind};
-use crate::granule::Granule;
+use crate::granule::{Granule, StatSink};
 use crate::meta::LockMeta;
 use crate::mode::ExecMode;
 use crate::policy::{ExecRecord, ModeCaps};
@@ -231,6 +231,22 @@ fn hold_satisfies(held: HeldKind, required: HeldKind) -> bool {
     }
 }
 
+/// Flush-on-drop guard for the statistics sink: in batched (real-mode)
+/// executions the shared counters see at most one `add` per nonzero field
+/// when the critical section exits — normally or by panic — instead of
+/// one CAS per event mid-section. In direct (simulated) executions every
+/// event was already published at record time and the drop is a no-op, so
+/// the guard's position in the unwind is invisible to the simulator.
+struct StatFlushGuard<'a> {
+    sink: StatSink<'a>,
+}
+
+impl Drop for StatFlushGuard<'_> {
+    fn drop(&mut self) {
+        self.sink.flush();
+    }
+}
+
 /// Release-on-drop guard so Lock mode unwinds cleanly.
 struct ReleaseGuard<'a, O: LockOps + ?Sized> {
     ops: &'a O,
@@ -317,10 +333,26 @@ pub(crate) fn run_cs<T, O: LockOps + ?Sized>(
             && !reentrant
             && !frame::in_swopt_for_other_lock(lock_key),
     };
-    let plan = ale
-        .policy()
-        .plan(meta, &granule, caps, &mut rng)
-        .clamped(caps);
+    // One-branch mode decision: a valid plan word whose absorbed bits
+    // cover `caps` decides the whole execution with a single load+branch.
+    // Misses (cold granule, phase transition, breaker edge, new
+    // capability) take the slow path — run the policy, republish. Both
+    // policies' `plan` is tick- and RNG-free, so hit and miss schedule
+    // identically under the simulator.
+    let plan = match granule.plan_cache.cached(caps) {
+        Some(p) => p,
+        None => {
+            let epoch = ale
+                .policy()
+                .plan_cacheable()
+                .then(|| granule.plan_cache.begin_publish());
+            let fresh = ale.policy().plan(meta, &granule, caps, &mut rng);
+            if let Some(e) = epoch {
+                granule.plan_cache.publish(fresh, caps, e);
+            }
+            fresh.clamped(caps)
+        }
+    };
     let use_grouping = plan.use_grouping && ale.grouping_enabled();
 
     // Measure 100 % during learning, ~3 % otherwise.
@@ -328,6 +360,9 @@ pub(crate) fn run_cs<T, O: LockOps + ?Sized>(
     let exec_start = measure.then(now);
 
     let mut rec = ExecRecord::new();
+    let mut flush = StatFlushGuard {
+        sink: StatSink::new(&granule.stats),
+    };
     let value = run_protocol(
         ale,
         meta,
@@ -342,9 +377,11 @@ pub(crate) fn run_cs<T, O: LockOps + ?Sized>(
         measure,
         lock_key,
         &mut rec,
+        &mut flush.sink,
     );
 
-    granule.stats.executions.inc(&mut rng);
+    flush.sink.record_execution(&mut rng);
+    drop(flush);
     if let Some(start) = exec_start {
         let total = now().saturating_sub(start);
         granule.stats.exec_time.add_duration(total);
@@ -369,6 +406,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
     measure: bool,
     lock_key: usize,
     rec: &mut ExecRecord,
+    sink: &mut StatSink<'_>,
 ) -> T {
     // --------------------------- HTM mode ------------------------------
     let breaker = granule.breaker.as_ref();
@@ -399,7 +437,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
             }
 
             rec.htm_attempts += 1;
-            granule.stats.record_attempt(ExecMode::Htm, rng);
+            sink.record_attempt(ExecMode::Htm, rng);
             emit(CsEvent::Attempt {
                 lock: meta.label(),
                 mode: ExecMode::Htm,
@@ -457,10 +495,14 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                 Ok(CsOutcome::Done(v)) => {
                     if let Some(b) = breaker {
                         if b.record_commit() == BreakerTransition::Restored {
+                            // Breaker edge: force a replan (harmless — the
+                            // plan itself never reads breaker state, but the
+                            // ISSUE contract says edges repack the word).
+                            granule.plan_cache.invalidate();
                             emit(CsEvent::BreakerRestore { lock: meta.label() });
                         }
                     }
-                    granule.stats.record_success(ExecMode::Htm, rng);
+                    sink.record_success(ExecMode::Htm, rng);
                     if let Some(t0) = t0 {
                         granule.stats.success_time[ExecMode::Htm.index()]
                             .add_duration(now().saturating_sub(t0));
@@ -513,13 +555,13 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                     let lock_held = status.code.is_lock_held()
                         || (status.code == AbortCode::Conflict && ops.is_conflicting_locked());
                     if lock_held {
-                        granule.stats.lock_held_aborts.inc(rng);
+                        sink.record_lock_held_abort(rng);
                         rec.lock_held_aborts += 1;
                         budget = budget.saturating_sub(1);
                     } else {
                         match status.code {
                             AbortCode::Capacity => {
-                                granule.stats.capacity_aborts.inc(rng);
+                                sink.record_capacity_abort(rng);
                                 rec.capacity_abort = true;
                                 budget = 0; // retrying cannot help
                             }
@@ -543,11 +585,11 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                                 budget = 0;
                             }
                             AbortCode::Conflict => {
-                                granule.stats.conflict_aborts.inc(rng);
+                                sink.record_conflict_abort(rng);
                                 budget = budget.saturating_sub(LOCK_HELD_WEIGHT);
                             }
                             _ => {
-                                granule.stats.spurious_aborts.inc(rng);
+                                sink.record_spurious_abort(rng);
                                 budget = budget.saturating_sub(LOCK_HELD_WEIGHT);
                             }
                         }
@@ -559,6 +601,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                         let storm = !lock_held
                             && matches!(status.code, AbortCode::Conflict | AbortCode::Capacity);
                         if b.record_abort(storm, rng) == BreakerTransition::Tripped {
+                            granule.plan_cache.invalidate();
                             emit(CsEvent::BreakerTrip { lock: meta.label() });
                         }
                         // An Open breaker ends this execution's HTM
@@ -592,7 +635,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
         let mut backoff = Backoff::with_max_exp(6);
         for _ in 0..plan.swopt_attempts {
             rec.swopt_attempts += 1;
-            granule.stats.record_attempt(ExecMode::SwOpt, rng);
+            sink.record_attempt(ExecMode::SwOpt, rng);
             emit(CsEvent::Attempt {
                 lock: meta.label(),
                 mode: ExecMode::SwOpt,
@@ -625,7 +668,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
             };
             match outcome {
                 CsOutcome::Done(v) => {
-                    granule.stats.record_success(ExecMode::SwOpt, rng);
+                    sink.record_success(ExecMode::SwOpt, rng);
                     if let Some(t0) = t0 {
                         granule.stats.success_time[ExecMode::SwOpt.index()]
                             .add_duration(now().saturating_sub(t0));
@@ -645,7 +688,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                     return v;
                 }
                 CsOutcome::SwOptFail => {
-                    granule.stats.swopt_fails.inc(rng);
+                    sink.record_swopt_fail(rng);
                     emit(CsEvent::SwOptFail { lock: meta.label() });
                     if use_grouping && retry_guard.is_none() {
                         // Announce "SWOpt retrying" so conflicting
@@ -657,7 +700,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
                 CsOutcome::SwOptSelfAbort => {
                     // Self abort (§3.3): stop optimistic attempts and fall
                     // through to Lock mode immediately.
-                    granule.stats.swopt_fails.inc(rng);
+                    sink.record_swopt_fail(rng);
                     emit(CsEvent::SwOptFail { lock: meta.label() });
                     break;
                 }
@@ -669,7 +712,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
     if opts.conflicting && use_grouping && defer_now(ale, rng) {
         meta.grouping.wait_for_swopt_retries();
     }
-    granule.stats.record_attempt(ExecMode::Lock, rng);
+    sink.record_attempt(ExecMode::Lock, rng);
     emit(CsEvent::Attempt {
         lock: meta.label(),
         mode: ExecMode::Lock,
@@ -734,7 +777,7 @@ fn run_protocol<T, O: LockOps + ?Sized>(
     };
     match outcome {
         CsOutcome::Done(v) => {
-            granule.stats.record_success(ExecMode::Lock, rng);
+            sink.record_success(ExecMode::Lock, rng);
             if let Some(t0) = t0 {
                 granule.stats.success_time[ExecMode::Lock.index()]
                     .add_duration(now().saturating_sub(t0));

@@ -65,7 +65,7 @@ pub mod scope;
 
 pub use check_hooks::{clear_cs_observer, set_cs_observer, CsEvent};
 pub use cs::{CsCtx, CsOptions, CsOutcome, CsProtocolError, ABORT_NESTED_NO_HTM, ABORT_PROTOCOL};
-pub use granule::{Granule, GranuleStats};
+pub use granule::{Granule, GranuleStats, StatSink};
 pub use grouping::Grouping;
 pub use meta::LockMeta;
 pub use mode::{ExecMode, Progression};

@@ -57,15 +57,18 @@ pub enum Progression {
 }
 
 impl Progression {
+    #[inline]
     pub fn uses_htm(self) -> bool {
         matches!(self, Progression::HtmLock | Progression::All)
     }
 
+    #[inline]
     pub fn uses_swopt(self) -> bool {
         matches!(self, Progression::SwOptLock | Progression::All)
     }
 
     /// Dense index for per-progression tables.
+    #[inline]
     pub fn index(self) -> usize {
         match self {
             Progression::LockOnly => 0,

@@ -554,6 +554,12 @@ impl AdaptivePolicy {
 
         inner.epoch += 1;
         state.stage.store(pack_stage(next_stage), Ordering::Release);
+        // The stage (and the per-granule phase_x/custom_prog written above)
+        // feed `plan`, so every cached plan word is now stale. The sweep is
+        // tick-free and must follow the stage store: a plan published from
+        // pre-transition state lands before the sweep (cleared by it) or
+        // races it and loses via the epoch check.
+        meta.granules.invalidate_plans();
         if ale_trace::is_enabled() {
             ale_trace::emit(ale_trace::TraceEvent::phase_transition(
                 ale_trace::label_id(meta.label()),
@@ -754,6 +760,7 @@ impl Policy for AdaptivePolicy {
             sub: 0,
         };
         state.stage.store(pack_stage(fresh), Ordering::Release);
+        meta.granules.invalidate_plans();
         if ale_trace::is_enabled() {
             ale_trace::emit(ale_trace::TraceEvent::phase_transition(
                 ale_trace::label_id(meta.label()),
@@ -761,6 +768,19 @@ impl Policy for AdaptivePolicy {
                 pack_stage(fresh),
             ));
         }
+    }
+
+    /// `plan` reads only atomics (stage word, `phase_x`, `custom_prog`,
+    /// `learned_x`) with no RNG draws or ticks, ignores `caps` for its
+    /// *output* (clamping is the driver's job, so the subset property holds
+    /// trivially), and every writer of those atomics —
+    /// [`try_transition`](Self::try_transition) and [`reset`](Policy::reset)
+    /// — sweeps the lock's plan words. The sticky `seen_htm`/`seen_swopt`
+    /// capability marks are the one side effect; the per-capability
+    /// absorbed bits force a slow-path `plan` call (which records them)
+    /// the first time each capability shows up.
+    fn plan_cacheable(&self) -> bool {
+        true
     }
 
     fn describe_lock(&self, meta: &LockMeta) -> String {

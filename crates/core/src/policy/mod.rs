@@ -149,6 +149,29 @@ pub trait Policy: Send + Sync + 'static {
     /// Observe a completed execution.
     fn on_complete(&self, meta: &LockMeta, granule: &Granule, rec: &ExecRecord, rng: &mut Rng);
 
+    /// May the driver cache [`plan`](Policy::plan)'s result in the
+    /// granule's packed plan word and skip `plan` on the fast path?
+    ///
+    /// A policy may opt in only if all three hold:
+    ///
+    /// 1. `plan` is deterministic in (policy state, granule, caps) — no
+    ///    RNG draws and no `tick`s, so a skipped call is invisible to the
+    ///    virtual-time schedule;
+    /// 2. for capability sets `B ⊆ A`:
+    ///    `plan(A).clamped(B) == plan(B).clamped(B)` (the cached word
+    ///    stores the unclamped plan and clamps per execution);
+    /// 3. every state change that can alter `plan`'s result also calls
+    ///    [`GranuleTable::invalidate_plans`](crate::granule::GranuleTable::invalidate_plans)
+    ///    on the affected lock's granules (capability *side effects* — the
+    ///    adaptive policy's sticky seen-caps marks — are instead covered
+    ///    by the per-capability absorbed bits in the word itself).
+    ///
+    /// Defaults to `false`: a policy that never opts in never gets a valid
+    /// plan word and runs exactly the pre-cache protocol.
+    fn plan_cacheable(&self) -> bool {
+        false
+    }
+
     /// Forget all learned state for a lock (restart learning from scratch).
     /// Called by `Ale::reset_statistics`, e.g. after benchmark prefill.
     fn reset(&self, _meta: &LockMeta) {}

@@ -84,6 +84,13 @@ impl Policy for StaticPolicy {
     fn on_complete(&self, _meta: &LockMeta, _granule: &Granule, _rec: &ExecRecord, _rng: &mut Rng) {
     }
 
+    /// `plan` is a pure function of `(self, caps)` — no RNG, no ticks, no
+    /// mutable state — and its caps-dependence is exactly `clamped`, so
+    /// the subset property holds and nothing ever needs invalidating.
+    fn plan_cacheable(&self) -> bool {
+        true
+    }
+
     fn describe_lock(&self, _meta: &LockMeta) -> String {
         format!("X={} Y={}", self.x, self.y)
     }

@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use ale_core::{scope, Ale, AleLock, CsOptions, CsOutcome, ScopeId};
 use ale_htm::HtmCell;
-use ale_sync::{SeqVersion, SpinLock};
+use ale_sync::{CachePadded, SeqVersion, SpinLock};
 
 use crate::node::{NodeSlab, NIL};
 
@@ -79,7 +79,10 @@ impl MapConfig {
 pub struct AleHashMap<V: Copy + Default + Send + 'static> {
     lock: AleLock<SpinLock>,
     buckets: Vec<HtmCell<u64>>,
-    vers: Vec<SeqVersion>,
+    /// Per-stripe version words, each padded onto its own cache line
+    /// (DESIGN.md §14): stripes exist to split writer traffic, which is
+    /// defeated if neighbouring stripes share a line.
+    vers: Vec<CachePadded<SeqVersion>>,
     slab: NodeSlab<V>,
     mask: usize,
     ver_mask: usize,
@@ -93,7 +96,9 @@ impl<V: Copy + Default + Send + 'static> AleHashMap<V> {
         AleHashMap {
             lock: ale.new_lock("tblLock", SpinLock::new()),
             buckets: (0..buckets).map(|_| HtmCell::new(NIL)).collect(),
-            vers: (0..stripes).map(|_| SeqVersion::new()).collect(),
+            vers: (0..stripes)
+                .map(|_| CachePadded::new(SeqVersion::new()))
+                .collect(),
             slab: NodeSlab::with_capacity(config.capacity),
             mask: buckets - 1,
             ver_mask: stripes - 1,

@@ -51,7 +51,7 @@ use std::sync::Arc;
 
 use ale_core::{scope, Ale, AleLock, CsCtx, CsOptions, CsOutcome, ScopeId};
 use ale_htm::HtmCell;
-use ale_sync::{SeqBuffer, SeqVersion, SpinLock};
+use ale_sync::{CachePadded, SeqBuffer, SeqVersion, SpinLock};
 
 use crate::node::{NodeSlab, NIL};
 use crate::resize::{Table, TableSet, MAX_TABLES, NO_TABLE};
@@ -153,7 +153,8 @@ impl ShardedMapConfig {
 struct Shard<V: Copy + Default + Send + 'static> {
     lock: AleLock<SpinLock>,
     slab: NodeSlab<V>,
-    vers: Vec<SeqVersion>,
+    /// Per-stripe version words, cache-line padded (DESIGN.md §14).
+    vers: Vec<CachePadded<SeqVersion>>,
     ver_mask: usize,
     tables: TableSet,
     /// `[cur_slot, prev_slot | NO_TABLE, migration_cursor, epoch]`.
@@ -449,7 +450,9 @@ impl<V: Copy + Default + Send + 'static> AleShardedMap<V> {
                 let shard = Shard {
                     lock: ale.new_lock(SHARD_LABELS[i], SpinLock::new()),
                     slab: NodeSlab::with_capacity(config.capacity_per_shard),
-                    vers: (0..stripes).map(|_| SeqVersion::new()).collect(),
+                    vers: (0..stripes)
+                        .map(|_| CachePadded::new(SeqVersion::new()))
+                        .collect(),
                     ver_mask: stripes - 1,
                     tables: TableSet::new(Table::new(config.buckets_per_shard)),
                     meta: SeqBuffer::new(),

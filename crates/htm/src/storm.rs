@@ -87,6 +87,22 @@ const CLOSED: u32 = 0;
 const OPEN: u32 = 1;
 const HALF_OPEN: u32 = 2;
 
+/// The sliding-window half-buckets, grouped and aligned onto their own
+/// cache line (DESIGN.md §14 false-sharing audit). Every commit and abort
+/// writes these counters, while `state`/`open_until` are only *read* on
+/// the hot `allow()` admission check; without the separation each bucket
+/// write would invalidate the line the whole cohort polls.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct RateWindow {
+    /// Virtual-time start of the current half-bucket.
+    bucket_start: AtomicU64,
+    cur_aborts: AtomicU32,
+    cur_attempts: AtomicU32,
+    prev_aborts: AtomicU32,
+    prev_attempts: AtomicU32,
+}
+
 /// Per-granule abort-storm circuit breaker. See the module docs.
 #[derive(Debug)]
 pub struct StormBreaker {
@@ -96,13 +112,8 @@ pub struct StormBreaker {
     open_until: AtomicU64,
     /// Consecutive failed probes + 1 while open (drives cool-down growth).
     trip_level: AtomicU32,
-    /// Sliding window: current half-bucket start, and (aborts, attempts)
-    /// for the current and previous half-buckets.
-    bucket_start: AtomicU64,
-    cur_aborts: AtomicU32,
-    cur_attempts: AtomicU32,
-    prev_aborts: AtomicU32,
-    prev_attempts: AtomicU32,
+    /// Sliding abort-rate window, padded onto its own cache line.
+    window: RateWindow,
     trips: AtomicU64,
     restores: AtomicU64,
     /// Interned trace label for breaker-edge events (0 = unlabelled).
@@ -116,11 +127,7 @@ impl StormBreaker {
             state: AtomicU32::new(CLOSED),
             open_until: AtomicU64::new(0),
             trip_level: AtomicU32::new(0),
-            bucket_start: AtomicU64::new(0),
-            cur_aborts: AtomicU32::new(0),
-            cur_attempts: AtomicU32::new(0),
-            prev_aborts: AtomicU32::new(0),
-            prev_attempts: AtomicU32::new(0),
+            window: RateWindow::default(),
             trips: AtomicU64::new(0),
             restores: AtomicU64::new(0),
             trace_label: AtomicU32::new(0),
@@ -189,6 +196,7 @@ impl StormBreaker {
     /// would be self-sustaining. Letting everyone probe at once drains the
     /// lock traffic exactly like the storm-free steady state the probe is
     /// trying to detect.
+    #[inline]
     pub fn allow(&self) -> bool {
         match self.state.load(Ordering::Relaxed) {
             CLOSED => true,
@@ -217,7 +225,7 @@ impl StormBreaker {
     /// flight: one genuine commit proves the storm has passed.
     pub fn record_commit(&self) -> BreakerTransition {
         self.roll_window();
-        self.cur_attempts.fetch_add(1, Ordering::Relaxed);
+        self.window.cur_attempts.fetch_add(1, Ordering::Relaxed);
         if self.state.load(Ordering::Relaxed) == HALF_OPEN
             && self
                 .state
@@ -241,9 +249,9 @@ impl StormBreaker {
     /// reopening one level deeper (uncounted).
     pub fn record_abort(&self, storm_class: bool, rng: &mut Rng) -> BreakerTransition {
         self.roll_window();
-        self.cur_attempts.fetch_add(1, Ordering::Relaxed);
+        self.window.cur_attempts.fetch_add(1, Ordering::Relaxed);
         if storm_class {
-            self.cur_aborts.fetch_add(1, Ordering::Relaxed);
+            self.window.cur_aborts.fetch_add(1, Ordering::Relaxed);
         }
         if !storm_class {
             return BreakerTransition::None;
@@ -290,19 +298,19 @@ impl StormBreaker {
     }
 
     fn window_counts(&self) -> (u32, u32) {
-        let aborts =
-            self.cur_aborts.load(Ordering::Relaxed) + self.prev_aborts.load(Ordering::Relaxed);
-        let attempts =
-            self.cur_attempts.load(Ordering::Relaxed) + self.prev_attempts.load(Ordering::Relaxed);
+        let aborts = self.window.cur_aborts.load(Ordering::Relaxed)
+            + self.window.prev_aborts.load(Ordering::Relaxed);
+        let attempts = self.window.cur_attempts.load(Ordering::Relaxed)
+            + self.window.prev_attempts.load(Ordering::Relaxed);
         (aborts, attempts)
     }
 
     fn reset_buckets(&self) {
-        self.cur_aborts.store(0, Ordering::Relaxed);
-        self.cur_attempts.store(0, Ordering::Relaxed);
-        self.prev_aborts.store(0, Ordering::Relaxed);
-        self.prev_attempts.store(0, Ordering::Relaxed);
-        self.bucket_start.store(now(), Ordering::Relaxed);
+        self.window.cur_aborts.store(0, Ordering::Relaxed);
+        self.window.cur_attempts.store(0, Ordering::Relaxed);
+        self.window.prev_aborts.store(0, Ordering::Relaxed);
+        self.window.prev_attempts.store(0, Ordering::Relaxed);
+        self.window.bucket_start.store(now(), Ordering::Relaxed);
     }
 
     /// Advance the two half-window buckets. One racing recorder wins the
@@ -311,11 +319,12 @@ impl StormBreaker {
     fn roll_window(&self) {
         let half = (self.cfg.window_ns / 2).max(1);
         let t = now();
-        let start = self.bucket_start.load(Ordering::Relaxed);
+        let start = self.window.bucket_start.load(Ordering::Relaxed);
         if t < start.saturating_add(half) {
             return;
         }
         if self
+            .window
             .bucket_start
             .compare_exchange(start, t, Ordering::AcqRel, Ordering::Relaxed)
             .is_err()
@@ -324,16 +333,20 @@ impl StormBreaker {
         }
         if t >= start.saturating_add(half * 2) {
             // Idle gap longer than the whole window: both buckets are stale.
-            self.prev_aborts.store(0, Ordering::Relaxed);
-            self.prev_attempts.store(0, Ordering::Relaxed);
+            self.window.prev_aborts.store(0, Ordering::Relaxed);
+            self.window.prev_attempts.store(0, Ordering::Relaxed);
         } else {
-            self.prev_aborts
-                .store(self.cur_aborts.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.prev_attempts
-                .store(self.cur_attempts.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.window.prev_aborts.store(
+                self.window.cur_aborts.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            self.window.prev_attempts.store(
+                self.window.cur_attempts.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
         }
-        self.cur_aborts.store(0, Ordering::Relaxed);
-        self.cur_attempts.store(0, Ordering::Relaxed);
+        self.window.cur_aborts.store(0, Ordering::Relaxed);
+        self.window.cur_attempts.store(0, Ordering::Relaxed);
     }
 }
 

@@ -99,6 +99,51 @@ impl StatCounter {
         }
     }
 
+    /// Fold a pre-aggregated batch of `n` events into the counter with one
+    /// shared update. This is the flush half of the fast path's
+    /// thread-local delta batching, and it only runs where `tick` is a
+    /// no-op: under the virtual-time simulator the runtime keeps per-event
+    /// [`inc`] so schedules and digests stay bit-identical, and on real
+    /// hardware the batched sink records into a stack-local delta and
+    /// flushes here — tick- and RNG-free, one CAS loop per counter instead
+    /// of one per event. Exact while the exponent is zero (the regime
+    /// every ale-check workload stays in); above threshold the batch folds
+    /// at the counter's current resolution — rounded to the nearest
+    /// multiple of `2^exp`, so each flush perturbs the projection by at
+    /// most half a quantum instead of drawing per-event thinning
+    /// decisions.
+    ///
+    /// [`inc`]: StatCounter::inc
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut backoff = Backoff::with_max_exp(6);
+        loop {
+            let w = self.word.load(Ordering::Relaxed);
+            let (m, e) = unpack(w);
+            let units = if e == 0 {
+                n
+            } else {
+                (n + ((1u64 << e) >> 1)) >> e
+            };
+            let (mut nm, mut ne) = (m + units, e);
+            while nm >= MANTISSA_THRESHOLD * 2 {
+                nm = nm.div_ceil(2);
+                ne += 1;
+            }
+            if self
+                .word
+                .compare_exchange_weak(w, pack(nm, ne), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
     /// The projected (estimated) count: `mantissa << exponent`. Exact while
     /// the exponent is zero.
     #[inline]
@@ -109,6 +154,7 @@ impl StatCounter {
     }
 
     /// Is the counter still in its exact (pre-threshold) regime?
+    #[inline]
     pub fn is_exact(&self) -> bool {
         unpack(self.word.load(Ordering::Relaxed)).1 == 0
     }

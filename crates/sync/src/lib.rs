@@ -30,6 +30,7 @@ pub mod chaos;
 pub mod clh;
 pub mod counters;
 pub mod mutex;
+pub mod padded;
 pub mod raw_lock;
 pub mod reorder;
 pub mod rwlock;
@@ -44,6 +45,7 @@ pub use backoff::Backoff;
 pub use clh::ClhLock;
 pub use counters::StatCounter;
 pub use mutex::{TickMutex, TickMutexGuard};
+pub use padded::CachePadded;
 pub use raw_lock::{RawLock, RawRwLock};
 pub use rwlock::RwLock;
 pub use seqlock::{close_open_regions, open_region_count, SeqBuffer, SeqLock, SeqVersion};

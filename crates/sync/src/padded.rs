@@ -1,0 +1,81 @@
+//! Cache-line padding for contended-adjacent state.
+//!
+//! The fast-path false-sharing audit (DESIGN.md §14) found the hot
+//! per-granule words — the packed plan word read on every critical-section
+//! entry, the stat counters written on every exit, and the sharded map's
+//! per-stripe version words — sharing cache lines with neighbours that
+//! other threads write. [`CachePadded`] aligns a value to 128 bytes so it
+//! owns its line *and* the line the adjacent-line prefetcher pairs with it
+//! (the crossbeam convention on x86-64); on the simulated platforms the
+//! cost model charges per-event, so padding is free under `ale-vtime` and
+//! only changes real-hardware layout.
+//!
+//! Padding is applied at *struct* boundaries (a granule's stats block, one
+//! plan word, one version stripe), never per-counter — padding every
+//! `StatCounter` would multiply the footprint 16× for lines that are
+//! always written together anyway.
+
+use std::ops::{Deref, DerefMut};
+
+/// Aligns `T` to 128 bytes so it shares a cache line (and its prefetch
+/// pair) with nothing else.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_values_own_their_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+        let mut p = CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(p.into_inner(), 8);
+    }
+
+    #[test]
+    fn arrays_of_padded_elements_do_not_share_lines() {
+        let v: Vec<CachePadded<u32>> = (0..4).map(CachePadded::new).collect();
+        let a = &*v[0] as *const u32 as usize;
+        let b = &*v[1] as *const u32 as usize;
+        assert!(b - a >= 128, "adjacent elements {a:#x}/{b:#x} share a line");
+    }
+}

@@ -218,6 +218,7 @@ impl<T: Copy> SeqLock<T> {
     /// Optimistically read the protected value (retrying on interference).
     // ale-lint: swopt — classic seqlock read side: loads and validation
     // only, no writes/locks/allocation anywhere in the call chain.
+    #[inline]
     pub fn read(&self) -> T {
         loop {
             let s1 = self.seq.get();
@@ -236,6 +237,7 @@ impl<T: Copy> SeqLock<T> {
     }
 
     /// Exclusively update the protected value.
+    #[inline]
     pub fn write(&self, f: impl FnOnce(T) -> T) {
         // Acquire: even -> odd.
         loop {
@@ -290,6 +292,7 @@ impl<const N: usize> SeqBuffer<N> {
     }
 
     /// Publish a new `N`-word snapshot (caller holds the owning lock).
+    #[inline]
     pub fn store(&self, vals: [u64; N]) {
         if cfg!(feature = "mut-reorder-publish") {
             // MUTATION: the data writes escape *ahead of* the version bump —
@@ -314,6 +317,7 @@ impl<const N: usize> SeqBuffer<N> {
     /// Optimistically read a consistent `N`-word snapshot, retrying through
     /// concurrent stores.
     // ale-lint: swopt — loads and validation only, like SeqLock::read.
+    #[inline]
     pub fn load(&self) -> [u64; N] {
         loop {
             let snap = self.ver.read(true);
@@ -339,6 +343,7 @@ impl<const N: usize> SeqBuffer<N> {
     /// snapshot must still be current *after* the bucket chains it named
     /// have been traversed.
     // ale-lint: swopt — loads and validation only, like load().
+    #[inline]
     pub fn load_versioned(&self) -> ([u64; N], u64) {
         loop {
             let snap = self.ver.read(true);
@@ -355,6 +360,7 @@ impl<const N: usize> SeqBuffer<N> {
     }
 
     /// The guarding version, for callers composing wider SWOpt validation.
+    #[inline]
     pub fn version(&self) -> &SeqVersion {
         &self.ver
     }

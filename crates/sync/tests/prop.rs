@@ -217,6 +217,113 @@ proptest! {
             prop_assert_eq!(l.reader_count(), readers as u64);
         }
     }
+
+    /// Batched flushes (`add`) vs per-event `inc`: any partitioning of the
+    /// same event total into per-CS deltas, flushed in any order and
+    /// interleaved with per-event updates, lands on the same total — exact
+    /// below the mantissa threshold, within the usual BFP bound above it.
+    #[test]
+    fn counter_add_partitioning_and_order_are_exact(
+        seed in any::<u64>(),
+        batches in proptest::collection::vec(0u64..600, 0..12),
+        incs in 0u64..600,
+    ) {
+        let forward = StatCounter::new();
+        let reverse = StatCounter::new();
+        let mut rng_f = Rng::new(seed);
+        let mut rng_r = Rng::new(seed);
+        let total: u64 = batches.iter().sum::<u64>() + incs;
+        let mut fwd_batches = batches.iter();
+        for i in 0..incs {
+            forward.inc(&mut rng_f);
+            if i % 3 == 0 {
+                if let Some(&b) = fwd_batches.next() {
+                    forward.add(b);
+                }
+            }
+        }
+        for &b in fwd_batches {
+            forward.add(b);
+        }
+        // Same events, opposite flush order, incs all at the end.
+        for &b in batches.iter().rev() {
+            reverse.add(b);
+        }
+        for _ in 0..incs {
+            reverse.inc(&mut rng_r);
+        }
+        if total <= 4096 {
+            prop_assert_eq!(forward.read(), total, "exact regime");
+            prop_assert_eq!(reverse.read(), total, "flush order must not matter");
+            prop_assert!(forward.is_exact());
+        } else {
+            for est in [forward.read(), reverse.read()] {
+                let err = (est as f64 - total as f64).abs() / total as f64;
+                prop_assert!(err < 0.10, "total={total} est={est} err={err:.4}");
+            }
+        }
+    }
+
+    /// Saturation: folding large batches drives the counter deep into the
+    /// sampled regime, where each flush rounds to the current quantum —
+    /// the running estimate must stay within the standard accuracy bound
+    /// no matter how the batches are sized.
+    #[test]
+    fn counter_add_saturation_stays_accurate(
+        seed in any::<u64>(),
+        batches in proptest::collection::vec(1u64..50_000, 1..20),
+    ) {
+        let c = StatCounter::new();
+        let mut rng = Rng::new(seed);
+        // Cross the threshold with per-event updates first, so the folds
+        // land on a nonzero exponent.
+        let warmup = 5_000u64;
+        for _ in 0..warmup {
+            c.inc(&mut rng);
+        }
+        let mut truth = warmup;
+        for &b in &batches {
+            c.add(b);
+            truth += b;
+        }
+        prop_assert!(!c.is_exact(), "warmup must leave the exact regime");
+        let est = c.read();
+        let err = (est as f64 - truth as f64).abs() / truth as f64;
+        prop_assert!(err < 0.10, "truth={truth} est={est} err={err:.4}");
+    }
+}
+
+/// Concurrent flushes: per-thread deltas folded with `add` interleaved
+/// with per-event `inc`s must drain to the exact sum of every thread's
+/// contribution (the total stays below the mantissa threshold, so the CAS
+/// loop may retry but can never lose or double-count a batch).
+#[test]
+fn counter_concurrent_add_drains_exact_totals() {
+    let c = StatCounter::new();
+    let threads = 4u64;
+    let per_thread = 256 + 10 * 70; // incs + batched events, per thread
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let c = &c;
+            s.spawn(move || {
+                let mut rng = Rng::new(1000 + t);
+                for i in 0..10 {
+                    for _ in 0..25 {
+                        c.inc(&mut rng);
+                    }
+                    c.add(70); // one critical section's flushed delta
+                    if i % 4 == 0 {
+                        c.add(0); // empty delta: must be free
+                    }
+                }
+                for _ in 0..6 {
+                    c.inc(&mut rng);
+                }
+            });
+        }
+    });
+    assert!(c.is_exact(), "total below threshold must stay exact");
+    assert_eq!(c.read(), threads * per_thread);
 }
 
 /// BFP counter: the estimate is unbiased — across a fleet of deterministic

@@ -1,0 +1,102 @@
+//! Satellite: the fast-path cost-down refactor (plan-word caching, batched
+//! stat deltas, padding, inlining) must change *cost*, not *behaviour*.
+//!
+//! These constants were captured **before** the refactor landed: a
+//! fig2-shaped cell run at a fixed seed must still produce the same
+//! makespan and byte-identical CSV output afterwards. The op budget is
+//! chosen so every `StatCounter` stays in its exact (sub-threshold)
+//! regime — there the legacy per-event `inc` draws no thinning RNG, so a
+//! correct batching refactor is RNG-stream- and tick-stream-identical and
+//! the schedule cannot drift. (The `shard` ale-check workload half of this
+//! satellite lives in `crates/check/tests/digest_regressions.rs`, whose
+//! `SHARD_PINNED` digests must keep passing un-blessed.)
+//!
+//! BLESS=1 prints the constants instead of failing — re-bless only for a
+//! change that *means* to alter schedules.
+
+use ale_bench::{run_hashmap, HashMapWorkload, RunResult, Variant};
+use ale_vtime::Platform;
+
+/// Captured pre-refactor (fig2 shape: Haswell / Adaptive-All / 2i/2r/96g,
+/// 8 threads, 200 ops + 50 warm-up per lane, seed 42).
+const FIG2_MAKESPAN_NS: u64 = 156037;
+const FIG2_CSV: &str = "platform,variant,threads,total_ops,makespan_ns,mops\nhaswell,Adaptive-All,8,1600,156037,10.2540\n";
+
+/// The same cell through the *static* policy the sharded trajectory cell
+/// uses, on the testbed model (seed 7) — a second, independent schedule.
+const STATIC_MAKESPAN_NS: u64 = 70640;
+const STATIC_CSV: &str = "platform,variant,threads,total_ops,makespan_ns,mops\ntestbed,Static-All-0:6,4,800,70640,11.3250\n";
+
+fn fig2_shaped_cell() -> RunResult {
+    run_hashmap(
+        Platform::haswell(),
+        Variant::AdaptiveAll,
+        8,
+        &HashMapWorkload::read_heavy(16 * 1024),
+        200,
+        50,
+        42,
+    )
+}
+
+fn static_cell() -> RunResult {
+    run_hashmap(
+        Platform::testbed(),
+        Variant::StaticAll(0, 6),
+        4,
+        &HashMapWorkload::mutate_heavy(4 * 1024),
+        200,
+        50,
+        7,
+    )
+}
+
+fn csv(r: &RunResult) -> String {
+    format!("{}\n{}\n", RunResult::CSV_HEADER, r.csv_row())
+}
+
+#[test]
+fn fig2_cell_is_bit_identical_across_the_fastpath_refactor() {
+    let bless = std::env::var_os("BLESS").is_some();
+    let r = fig2_shaped_cell();
+    if bless {
+        println!("const FIG2_MAKESPAN_NS: u64 = {};", r.makespan_ns);
+        println!("const FIG2_CSV: &str = {:?};", csv(&r));
+        return;
+    }
+    assert_eq!(
+        r.makespan_ns, FIG2_MAKESPAN_NS,
+        "fig2 cell makespan drifted — the fast path changed behaviour, not just cost"
+    );
+    assert_eq!(
+        csv(&r),
+        FIG2_CSV,
+        "fig2 cell CSV bytes drifted — the fast path changed behaviour, not just cost"
+    );
+}
+
+#[test]
+fn static_cell_is_bit_identical_across_the_fastpath_refactor() {
+    let bless = std::env::var_os("BLESS").is_some();
+    let r = static_cell();
+    if bless {
+        println!("const STATIC_MAKESPAN_NS: u64 = {};", r.makespan_ns);
+        println!("const STATIC_CSV: &str = {:?};", csv(&r));
+        return;
+    }
+    assert_eq!(
+        r.makespan_ns, STATIC_MAKESPAN_NS,
+        "static cell makespan drifted"
+    );
+    assert_eq!(csv(&r), STATIC_CSV, "static cell CSV bytes drifted");
+}
+
+/// Same seed, run twice in one process: the cell itself must be
+/// deterministic, or the pins above prove nothing.
+#[test]
+fn fig2_cell_is_deterministic_within_a_build() {
+    let a = fig2_shaped_cell();
+    let b = fig2_shaped_cell();
+    assert_eq!(a.makespan_ns, b.makespan_ns);
+    assert_eq!(csv(&a), csv(&b));
+}
